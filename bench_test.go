@@ -1,0 +1,477 @@
+// Package bench is the reproduction's benchmark harness: one benchmark per
+// table and figure of the paper, plus the ablations called out in
+// DESIGN.md §5. Each benchmark regenerates its artefact from a shared
+// 14-day trace (the full 77-day run is cmd/labmon's job; the statistics
+// are scale-free) and attaches the headline values as custom benchmark
+// metrics, so `go test -bench .` both times the analysis pipeline and
+// prints the reproduced numbers next to the paper's.
+//
+//	BenchmarkTable1        — hardware catalogue + fleet aggregates
+//	BenchmarkTable2        — main results (uptime, CPU, RAM, swap, disk, net)
+//	BenchmarkFigure2       — CPU idleness by session age
+//	BenchmarkFigure3       — powered-on / user-free series
+//	BenchmarkFigure4       — uptime ratios + session-length distribution
+//	BenchmarkSessions      — §5.2.1 session statistics
+//	BenchmarkPowerCycles   — §5.2.2 SMART analysis
+//	BenchmarkFigure5       — weekly resource profiles
+//	BenchmarkFigure6       — cluster-equivalence ratio
+//	BenchmarkHarvest       — desktop-grid yield (extension)
+//	BenchmarkAblation*     — design-choice ablations
+//	BenchmarkNBench*       — the benchmark suite's own kernels
+//	BenchmarkSimulation    — fleet-simulation throughput
+//	BenchmarkCollection    — probe render+parse+post-collect path
+package bench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/ddc"
+	"winlab/internal/experiment"
+	"winlab/internal/harvest"
+	"winlab/internal/lab"
+	"winlab/internal/machine"
+	"winlab/internal/nbench"
+	"winlab/internal/predictor"
+	"winlab/internal/probe"
+	"winlab/internal/rng"
+	"winlab/internal/trace"
+)
+
+var (
+	once   sync.Once
+	shared *experiment.Result
+)
+
+// dataset lazily runs one 14-day experiment shared by all benchmarks.
+func dataset(b *testing.B) *experiment.Result {
+	b.Helper()
+	once.Do(func() {
+		cfg := experiment.Default(1)
+		cfg.Days = 14
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		shared = res
+	})
+	return shared
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var agg lab.Aggregates
+	for i := 0; i < b.N; i++ {
+		agg = lab.Aggregate(lab.PaperCatalog())
+	}
+	b.ReportMetric(agg.AvgRAMMB, "ram_MB/machine")
+	b.ReportMetric(agg.AvgDiskGB, "disk_GB/machine")
+	b.ReportMetric(agg.TotalGFlops, "fleet_GFlops")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var t2 analysis.Table2
+	for i := 0; i < b.N; i++ {
+		t2 = analysis.MainResults(res.Dataset, analysis.DefaultForgottenThreshold)
+	}
+	b.ReportMetric(t2.Both.UptimePct, "uptime_%")
+	b.ReportMetric(t2.Both.CPUIdlePct, "cpu_idle_%")
+	b.ReportMetric(t2.NoLogin.CPUIdlePct, "cpu_idle_nologin_%")
+	b.ReportMetric(t2.WithLogin.CPUIdlePct, "cpu_idle_login_%")
+	b.ReportMetric(t2.Both.RAMLoadPct, "ram_%")
+	b.ReportMetric(t2.Both.DiskUsedGB, "disk_GB")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var p analysis.SessionAgeProfile
+	for i := 0; i < b.N; i++ {
+		p = analysis.SessionAge(res.Dataset, 24)
+	}
+	b.ReportMetric(float64(p.FirstBucketAtOrAbove(99)), "forgotten_threshold_h")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var av analysis.AvailabilitySeries
+	for i := 0; i < b.N; i++ {
+		av = analysis.Availability(res.Dataset, analysis.DefaultForgottenThreshold)
+	}
+	b.ReportMetric(av.AvgPoweredOn, "powered_on")
+	b.ReportMetric(av.AvgUserFree, "user_free")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var us []analysis.MachineUptime
+	for i := 0; i < b.N; i++ {
+		us = analysis.UptimeRatios(res.Dataset)
+	}
+	b.ReportMetric(float64(analysis.CountAbove(us, 0.5)), "machines_above_0.5")
+	b.ReportMetric(float64(analysis.CountAbove(us, 0.8)), "machines_above_0.8")
+}
+
+func BenchmarkSessions(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var st analysis.SessionStats
+	for i := 0; i < b.N; i++ {
+		st = analysis.Sessions(res.Dataset, 96*time.Hour, 24)
+	}
+	b.ReportMetric(float64(st.Count), "sessions")
+	b.ReportMetric(st.Mean.Hours(), "mean_h")
+	b.ReportMetric(100*st.ShortFraction, "under_96h_%")
+}
+
+func BenchmarkPowerCycles(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var pc analysis.PowerCycleStats
+	for i := 0; i < b.N; i++ {
+		pc = analysis.PowerCycles(res.Dataset)
+	}
+	b.ReportMetric(pc.CyclesPerDay, "cycles/machine-day")
+	b.ReportMetric(100*pc.UndetectedRatio, "undetected_%")
+	b.ReportMetric(pc.LifetimePerCycle.Hours(), "lifetime_h/cycle")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var w *analysis.WeeklyProfiles
+	for i := 0; i < b.N; i++ {
+		w = analysis.Weekly(res.Dataset)
+	}
+	_, idle := w.MinCPUIdleSlot()
+	b.ReportMetric(idle, "min_weekly_idle_%")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var eq analysis.EquivalenceResult
+	for i := 0; i < b.N; i++ {
+		eq = analysis.Equivalence(res.Dataset, true)
+	}
+	b.ReportMetric(eq.TotalRatio, "equivalence")
+	b.ReportMetric(eq.OccupiedRatio, "occupied")
+	b.ReportMetric(eq.FreeRatio, "free")
+}
+
+func BenchmarkHarvest(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var r harvest.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = harvest.Run(res.Dataset, harvest.Config{
+			TaskWork: 25, Checkpoint: 15 * time.Minute, Policy: harvest.FreeOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Equivalence, "harvested_equivalence")
+	b.ReportMetric(float64(r.CompletedTasks), "tasks")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationThreshold sweeps the forgotten-session threshold and
+// reports the with-login share at 6 h vs the paper's 10 h choice.
+func BenchmarkAblationThreshold(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var at6, at10, raw float64
+	for i := 0; i < b.N; i++ {
+		t6 := analysis.MainResults(res.Dataset, 6*time.Hour)
+		t10 := analysis.MainResults(res.Dataset, 10*time.Hour)
+		t0 := analysis.MainResults(res.Dataset, 0)
+		at6 = t6.WithLogin.UptimePct
+		at10 = t10.WithLogin.UptimePct
+		raw = t0.WithLogin.UptimePct
+	}
+	b.ReportMetric(at6, "login_%_thresh6h")
+	b.ReportMetric(at10, "login_%_thresh10h")
+	b.ReportMetric(raw, "login_%_raw")
+}
+
+// BenchmarkAblationEquivalenceWeighting quantifies how much NBench-index
+// normalisation changes the equivalence ratio.
+func BenchmarkAblationEquivalenceWeighting(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var weighted, unweighted float64
+	for i := 0; i < b.N; i++ {
+		weighted = analysis.Equivalence(res.Dataset, true).TotalRatio
+		unweighted = analysis.Equivalence(res.Dataset, false).TotalRatio
+	}
+	b.ReportMetric(weighted, "weighted")
+	b.ReportMetric(unweighted, "unweighted")
+}
+
+// BenchmarkAblationSamplingPeriod reruns the collector at a 30-minute
+// period over the same fleet evolution and reports how many sessions each
+// period detects relative to ground truth.
+func BenchmarkAblationSamplingPeriod(b *testing.B) {
+	res15 := dataset(b)
+	gt := experiment.Truth(res15)
+	var n30 int
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Default(1)
+		cfg.Days = 14
+		cfg.Period = 30 * time.Minute
+		res30, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n30 = len(analysis.DetectSessions(res30.Dataset))
+	}
+	n15 := len(analysis.DetectSessions(res15.Dataset))
+	b.ReportMetric(float64(gt.PowerSessions), "true_sessions")
+	b.ReportMetric(float64(n15), "detected_15m")
+	b.ReportMetric(float64(n30), "detected_30m")
+}
+
+// BenchmarkAblationHarvestCheckpoint sweeps checkpoint intervals.
+func BenchmarkAblationHarvestCheckpoint(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var none, ck15 float64
+	for i := 0; i < b.N; i++ {
+		rs, err := harvest.SweepCheckpoint(res.Dataset, 25, harvest.FreeOnly,
+			[]time.Duration{0, 15 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		none, ck15 = rs[0].Equivalence, rs[1].Equivalence
+	}
+	b.ReportMetric(none, "no_checkpoint")
+	b.ReportMetric(ck15, "checkpoint_15m")
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure benchmarks.
+
+// BenchmarkSimulation measures fleet-simulation throughput: one simulated
+// day of the full 169-machine institution per iteration.
+func BenchmarkSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Default(int64(i + 1))
+		cfg.Days = 1
+		if _, err := experiment.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeRender measures the probe's report generation.
+func BenchmarkProbeRender(b *testing.B) {
+	fleet := lab.BuildPaperFleet(1)
+	m := fleet.Machines[0]
+	at := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	m.PowerOn(at)
+	sn, _ := m.Snapshot(at.Add(time.Hour))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := probe.Render(sn); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkProbeParse measures the coordinator-side parse path.
+func BenchmarkProbeParse(b *testing.B) {
+	fleet := lab.BuildPaperFleet(1)
+	m := fleet.Machines[0]
+	at := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	m.PowerOn(at)
+	sn, _ := m.Snapshot(at.Add(time.Hour))
+	out := probe.Render(sn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probe.Parse(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollection measures the full render→post-collect→dataset path.
+func BenchmarkCollection(b *testing.B) {
+	fleet := lab.BuildPaperFleet(1)
+	at := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	for _, m := range fleet.Machines {
+		m.PowerOn(at)
+	}
+	now := at.Add(time.Hour)
+	exec := &ddc.Direct{
+		Source: fleetSource{fleet},
+		Now:    func() time.Time { return now },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := ddc.NewDatasetSink(at, at.AddDate(0, 0, 1), 15*time.Minute, nil)
+		for _, m := range fleet.Machines {
+			out, err := exec.Exec(m.ID)
+			sink.Post(0, m.ID, out, err)
+		}
+		ds, err := sink.Dataset()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Samples) != fleet.Size() {
+			b.Fatalf("samples = %d", len(ds.Samples))
+		}
+	}
+}
+
+// fleetSource adapts a fleet to the collector's StateSource.
+type fleetSource struct{ fleet *lab.Fleet }
+
+func (f fleetSource) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
+	m := f.fleet.Get(id)
+	if m == nil {
+		return machine.Snapshot{}, false
+	}
+	return m.Snapshot(at)
+}
+
+// BenchmarkTraceWrite measures trace serialisation throughput.
+func BenchmarkTraceWrite(b *testing.B) {
+	res := dataset(b)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteFile(dir+"/t.csv", res.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceRead measures trace parsing throughput.
+func BenchmarkTraceRead(b *testing.B) {
+	res := dataset(b)
+	dir := b.TempDir()
+	if err := trace.WriteFile(dir+"/t.csv", res.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadFile(dir + "/t.csv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNBenchKernels measures every kernel of the NBench suite.
+func BenchmarkNBenchKernels(b *testing.B) {
+	for _, k := range nbench.Kernels() {
+		k := k
+		b.Run(k.Name(), func(b *testing.B) {
+			k.Setup(rng.Derive(1, k.Name()))
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += k.Iterate()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkLabUsage regenerates the per-laboratory breakdown.
+func BenchmarkLabUsage(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var us []analysis.LabUsage
+	for i := 0; i < b.N; i++ {
+		us = analysis.ByLab(res.Dataset, analysis.DefaultForgottenThreshold)
+	}
+	if len(us) != 11 {
+		b.Fatalf("labs = %d", len(us))
+	}
+}
+
+// BenchmarkCapacity regenerates the §6 harvestable-capacity report.
+func BenchmarkCapacity(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var c analysis.CapacityReport
+	for i := 0; i < b.N; i++ {
+		c = analysis.Capacity(res.Dataset)
+	}
+	b.ReportMetric(c.FleetFreeRAMGB, "fleet_free_RAM_GB")
+	b.ReportMetric(c.FleetFreeDiskTB, "fleet_free_disk_TB")
+}
+
+// BenchmarkAblationReplication runs the bag-of-tasks master at replication
+// factors 1 and 2: makespan insurance vs wasted duplicate work.
+func BenchmarkAblationReplication(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var rs []harvest.QueueResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = harvest.CompareReplication(res.Dataset,
+			harvest.QueueConfig{Tasks: 2000, TaskWork: 25, Checkpoint: 15 * time.Minute, Policy: harvest.FreeOnly},
+			[]int{1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rs[0].Makespan.Hours(), "makespan_h_r1")
+	b.ReportMetric(rs[1].Makespan.Hours(), "makespan_h_r2")
+	b.ReportMetric(rs[1].WastedWork, "wasted_idxh_r2")
+}
+
+// BenchmarkAblationPlacement quantifies predictor-guided placement: harvest
+// only the most stable half of the fleet (by historical 1-hour survival)
+// versus harvesting everything, and compare eviction counts and per-machine
+// efficiency.
+func BenchmarkAblationPlacement(b *testing.B) {
+	res := dataset(b)
+	model := predictor.Fit(res.Dataset, time.Hour)
+	stable := model.StableSet(0.5, 20)
+	b.ResetTimer()
+	var all, top harvest.QueueResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		all, err = harvest.RunQueue(res.Dataset, harvest.QueueConfig{
+			Tasks: 100000, TaskWork: 25, Checkpoint: 15 * time.Minute, Policy: harvest.FreeOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		top, err = harvest.RunQueue(res.Dataset, harvest.QueueConfig{
+			Tasks: 100000, TaskWork: 25, Checkpoint: 15 * time.Minute, Policy: harvest.FreeOnly,
+			MachineFilter: func(id string) bool { return stable[id] },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(all.Evictions), "evictions_all")
+	b.ReportMetric(float64(top.Evictions), "evictions_stable_half")
+	b.ReportMetric(float64(all.CompletedTasks), "tasks_all")
+	b.ReportMetric(float64(top.CompletedTasks), "tasks_stable_half")
+}
+
+// BenchmarkPredictor measures fitting and scoring the survival predictor.
+func BenchmarkPredictor(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var ev predictor.Evaluation
+	for i := 0; i < b.N; i++ {
+		m := predictor.Fit(res.Dataset, time.Hour)
+		ev = m.Evaluate(res.Dataset)
+	}
+	b.ReportMetric(100*ev.Skill(), "brier_skill_%")
+	b.ReportMetric(ev.BaseRate, "survival_base_rate")
+}

@@ -1,0 +1,45 @@
+// Command analyze recomputes the paper's tables and figures from a
+// previously collected trace file (see labmon -trace).
+//
+// Usage:
+//
+//	analyze [-csvdir dir] trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"winlab/internal/core"
+	"winlab/internal/trace"
+)
+
+func main() {
+	csvDir := flag.String("csvdir", "", "export figure CSVs into this directory")
+	paper := flag.Bool("paper", false, "append the paper-vs-measured comparison table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-csvdir dir] trace.csv")
+		os.Exit(2)
+	}
+	d, err := trace.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "analyze: %d machines, %d iterations, %d samples\n",
+		len(d.Machines), len(d.Iterations), len(d.Samples))
+	rep := core.Analyze(d)
+	rep.Render(os.Stdout)
+	if *paper {
+		fmt.Println()
+		rep.ComparePaper(os.Stdout)
+	}
+	if *csvDir != "" {
+		if err := rep.WriteCSVs(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze: writing CSVs:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command labmon runs the full reproduction of "Resource Usage of Windows
+// Computer Laboratories" (ICPP 2005): it simulates the 169-machine fleet
+// for the configured duration, collects the monitoring trace with the DDC
+// collector, and prints every table and figure of the paper's evaluation.
+//
+// With -replicate N it instead runs N independent seeds and reports the
+// mean ± standard deviation of every headline metric — the statistical
+// check that the reproduction's numbers are properties of the model, not
+// of one lucky seed.
+//
+// Usage:
+//
+//	labmon [-seed N] [-days N] [-period 15m] [-trace out.csv[.gz]] [-csvdir dir] [-quiet] [-replicate N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/core"
+	"winlab/internal/report"
+	"winlab/internal/stats"
+	"winlab/internal/trace"
+)
+
+// replicate runs n seeds and prints mean ± sd for the headline metrics.
+func replicate(cfg core.Config, n int) error {
+	metrics := map[string]*stats.Running{}
+	order := []string{}
+	add := func(name string, v float64) {
+		r := metrics[name]
+		if r == nil {
+			r = &stats.Running{}
+			metrics[name] = r
+			order = append(order, name)
+		}
+		r.Add(v)
+	}
+	for i := 0; i < n; i++ {
+		cfg.Seed = cfg.Seed + int64(i)
+		cfg.Behavior.Seed = cfg.Seed
+		res, err := core.RunExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		d := res.Dataset
+		t2 := analysis.MainResults(d, analysis.DefaultForgottenThreshold)
+		av := analysis.Availability(d, analysis.DefaultForgottenThreshold)
+		eq := analysis.Equivalence(d, true)
+		pc := analysis.PowerCycles(d)
+		add("uptime both %", t2.Both.UptimePct)
+		add("cpu idle both %", t2.Both.CPUIdlePct)
+		add("cpu idle login %", t2.WithLogin.CPUIdlePct)
+		add("ram both %", t2.Both.RAMLoadPct)
+		add("disk used GB", t2.Both.DiskUsedGB)
+		add("powered on avg", av.AvgPoweredOn)
+		add("user-free avg", av.AvgUserFree)
+		add("equivalence", eq.TotalRatio)
+		add("lifetime h/cycle", pc.LifetimePerCycle.Hours())
+		fmt.Fprintf(os.Stderr, "labmon: replication %d/%d done (seed %d)\n", i+1, n, cfg.Seed)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Headline metrics over %d seeds (mean ± sd)", n),
+		Headers: []string{"Metric", "Mean", "SD"},
+	}
+	for _, name := range order {
+		r := metrics[name]
+		t.AddRow(name, fmt.Sprintf("%.3f", r.Mean()), fmt.Sprintf("%.3f", r.SampleStdDev()))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "experiment seed (full determinism)")
+		days     = flag.Int("days", 77, "experiment length in days")
+		period   = flag.Duration("period", 15*time.Minute, "sampling period")
+		traceOut = flag.String("trace", "", "write the collected trace to this file")
+		csvDir   = flag.String("csvdir", "", "export figure CSVs into this directory")
+		quiet    = flag.Bool("quiet", false, "suppress the text report")
+		reps     = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*seed)
+	cfg.Days = *days
+	cfg.Period = *period
+
+	if *reps > 0 {
+		if err := replicate(cfg, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "labmon: simulating %d machines for %d days (seed %d)...\n",
+		func() int {
+			n := 0
+			for _, s := range cfg.Labs {
+				n += s.Machines
+			}
+			return n
+		}(), cfg.Days, *seed)
+	start := time.Now()
+	res, err := core.RunExperiment(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labmon:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "labmon: %d iterations, %d samples collected in %s\n",
+		res.Collector.Iterations, res.Collector.Samples, time.Since(start).Round(time.Millisecond))
+
+	if *traceOut != "" {
+		if err := trace.WriteFile(*traceOut, res.Dataset); err != nil {
+			fmt.Fprintln(os.Stderr, "labmon: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "labmon: trace written to %s\n", *traceOut)
+	}
+
+	rep := core.AnalyzeResult(res)
+	if !*quiet {
+		rep.Render(os.Stdout)
+		fmt.Println()
+		rep.ComparePaper(os.Stdout)
+	}
+	if *csvDir != "" {
+		if err := rep.WriteCSVs(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "labmon: writing CSVs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "labmon: figure CSVs written to %s\n", *csvDir)
+	}
+}

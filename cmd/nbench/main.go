@@ -1,0 +1,41 @@
+// Command nbench runs the NBench-style benchmark suite on the host and
+// prints the per-kernel rates and the INT/FP indexes — the measurement the
+// paper performed once per lab machine to fill Table 1's last column.
+//
+// Usage:
+//
+//	nbench [-seed N] [-mintime 200ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"winlab/internal/nbench"
+	"winlab/internal/report"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 7, "workload seed")
+		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measured time per kernel")
+	)
+	flag.Parse()
+
+	res, err := nbench.Run(nbench.Options{Seed: *seed, MinTime: *minTime})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbench:", err)
+		os.Exit(1)
+	}
+	t := &report.Table{
+		Title:   "NBench-style suite",
+		Headers: []string{"Kernel", "Class", "Iterations", "Rate (/s)"},
+	}
+	for _, s := range res.Scores {
+		t.AddRow(s.Kernel, s.Class.String(), fmt.Sprintf("%d", s.Iterations), fmt.Sprintf("%.1f", s.PerSecond))
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\nINT index: %.2f\nMEM index: %.2f\nFP index:  %.2f\n", res.Int, res.Mem, res.FPIdx)
+}

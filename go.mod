@@ -1,0 +1,3 @@
+module winlab
+
+go 1.22

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"winlab/internal/stats"
+	"winlab/internal/trace"
+)
+
+// AvailabilityPoint is one iteration of the Figure 3 time series.
+type AvailabilityPoint struct {
+	Iter      int
+	Time      time.Time
+	PoweredOn int // machines that answered the probe
+	UserFree  int // of those, machines with no (effective) login session
+}
+
+// AvailabilitySeries is the Figure 3 data: powered-on and user-free
+// machine counts per iteration, with their averages.
+type AvailabilitySeries struct {
+	Points       []AvailabilityPoint
+	AvgPoweredOn float64 // the paper reports 84.87
+	AvgUserFree  float64 // the paper reports 57.29
+}
+
+// Availability computes the Figure 3 series. User-free machines are
+// powered-on machines without an occupied session, where sessions older
+// than the threshold count as non-occupied (forgotten).
+func Availability(d *trace.Dataset, threshold time.Duration) AvailabilitySeries {
+	type counts struct{ on, free int }
+	byIter := make(map[int]*counts, len(d.Iterations))
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		c := byIter[s.Iter]
+		if c == nil {
+			c = &counts{}
+			byIter[s.Iter] = c
+		}
+		c.on++
+		if !Classify(s, threshold).Occupied() {
+			c.free++
+		}
+	}
+	var series AvailabilitySeries
+	var on, free stats.Running
+	for _, it := range d.Iterations {
+		c := byIter[it.Iter]
+		if c == nil {
+			c = &counts{}
+		}
+		series.Points = append(series.Points, AvailabilityPoint{
+			Iter: it.Iter, Time: it.Start, PoweredOn: c.on, UserFree: c.free,
+		})
+		on.Add(float64(c.on))
+		free.Add(float64(c.free))
+	}
+	series.AvgPoweredOn = on.Mean()
+	series.AvgUserFree = free.Mean()
+	return series
+}
+
+// MachineUptime is one machine's cumulated uptime over the experiment
+// (Figure 4, left): the fraction of probe attempts it answered, and that
+// availability expressed in "nines".
+type MachineUptime struct {
+	Machine string
+	Ratio   float64
+	Nines   float64
+}
+
+// UptimeRatios computes the per-machine uptime ratios, sorted in
+// descending order like the paper's Figure 4 (left).
+func UptimeRatios(d *trace.Dataset) []MachineUptime {
+	attempts := len(d.Iterations)
+	if attempts == 0 {
+		return nil
+	}
+	counts := make(map[string]int, len(d.Machines))
+	for i := range d.Samples {
+		counts[d.Samples[i].Machine]++
+	}
+	out := make([]MachineUptime, 0, len(d.Machines))
+	for _, m := range d.Machines {
+		ratio := float64(counts[m.ID]) / float64(attempts)
+		out = append(out, MachineUptime{
+			Machine: m.ID,
+			Ratio:   ratio,
+			Nines:   stats.Nines(ratio),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// CountAbove returns how many machines have an uptime ratio strictly above
+// r. The paper reports 30 machines above 0.5, fewer than 10 above 0.8 and
+// none above 0.9.
+func CountAbove(us []MachineUptime, r float64) int {
+	n := 0
+	for _, u := range us {
+		if u.Ratio > r {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeMachineHeat collapses the Figure 3 series into a 7×24 time-of-week
+// grid: the mean number of user-free machines per hour of the week, the
+// "harvest windows" view of availability (rendered by report.Heatmap).
+func FreeMachineHeat(s AvailabilitySeries) []float64 {
+	var acc [7 * 24]stats.Running
+	for _, p := range s.Points {
+		day := (int(p.Time.Weekday()) + 6) % 7
+		acc[day*24+p.Time.Hour()].Add(float64(p.UserFree))
+	}
+	out := make([]float64, len(acc))
+	for i := range acc {
+		out[i] = acc[i].Mean()
+	}
+	return out
+}

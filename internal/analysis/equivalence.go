@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"winlab/internal/stats"
+	"winlab/internal/trace"
+)
+
+// EquivalenceResult is the Figure 6 / §5.4 cluster-equivalence analysis:
+// what fraction of an equally-sized *dedicated* cluster the harvestable
+// idle CPU of the non-dedicated fleet is worth.
+//
+// Following Arpaci et al. as applied by the paper, a machine with i% CPU
+// idleness counts as i% of a dedicated machine; machines are weighted by
+// their NBench combined index (50% INT + 50% FP) to handle heterogeneity;
+// powered-off machines contribute nothing. "Occupied" means an open
+// interactive session at sample time (raw, unreclassified — an abandoned
+// but open session is still usable idleness on an occupied machine).
+type EquivalenceResult struct {
+	// Means over all iterations.
+	OccupiedRatio float64 // the paper reports 0.26
+	FreeRatio     float64 // 0.25
+	TotalRatio    float64 // 0.51 → the 2:1 rule
+
+	// Weekly distribution of the total ratio and its components.
+	Weekly         stats.WeeklyProfile
+	WeeklyOccupied stats.WeeklyProfile
+	WeeklyFree     stats.WeeklyProfile
+}
+
+// Equivalence computes the cluster-equivalence ratio of a trace. Machines
+// with no NBench index metadata are skipped. Unweighted (perf index forced
+// to 1 for every machine) behaviour is available via the normalize flag,
+// which the ablation bench uses to quantify how much index-weighting
+// matters.
+func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
+	perf := make(map[string]float64, len(d.Machines))
+	var totalPerf float64
+	for _, m := range d.Machines {
+		p := m.PerfIndex()
+		if !normalize {
+			p = 1
+		}
+		perf[m.ID] = p
+		totalPerf += p
+	}
+	var res EquivalenceResult
+	if totalPerf == 0 {
+		return res
+	}
+
+	type slotSum struct{ occ, free float64 }
+	sums := make(map[int]*slotSum, len(d.Iterations))
+	for _, iv := range d.Intervals(2 * d.Period) {
+		p, ok := perf[iv.B.Machine]
+		if !ok {
+			continue
+		}
+		ss := sums[iv.B.Iter]
+		if ss == nil {
+			ss = &slotSum{}
+			sums[iv.B.Iter] = ss
+		}
+		contrib := iv.CPUIdlePct() / 100 * p
+		if iv.B.HasSession() {
+			ss.occ += contrib
+		} else {
+			ss.free += contrib
+		}
+	}
+
+	var occ, free stats.Running
+	for _, it := range d.Iterations {
+		ss := sums[it.Iter]
+		if ss == nil {
+			ss = &slotSum{}
+		}
+		o := ss.occ / totalPerf
+		f := ss.free / totalPerf
+		occ.Add(o)
+		free.Add(f)
+		res.WeeklyOccupied.Add(it.Start, o)
+		res.WeeklyFree.Add(it.Start, f)
+		res.Weekly.Add(it.Start, o+f)
+	}
+	res.OccupiedRatio = occ.Mean()
+	res.FreeRatio = free.Mean()
+	res.TotalRatio = res.OccupiedRatio + res.FreeRatio
+	return res
+}

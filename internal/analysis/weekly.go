@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"time"
+
+	"winlab/internal/stats"
+	"winlab/internal/trace"
+)
+
+// WeeklyProfiles is the Figure 5 data: the weekly distribution (15-minute
+// slots, Monday-first) of CPU idleness, memory and swap load, and network
+// rates.
+type WeeklyProfiles struct {
+	CPUIdlePct stats.WeeklyProfile
+	RAMLoadPct stats.WeeklyProfile
+	SwapLoad   stats.WeeklyProfile
+	SentBps    stats.WeeklyProfile
+	RecvBps    stats.WeeklyProfile
+}
+
+// Weekly computes the Figure 5 weekly distributions. Sample-level metrics
+// (memory, swap) aggregate by sample slot; interval metrics (CPU idleness,
+// network rates) aggregate by the slot of the closing sample.
+func Weekly(d *trace.Dataset) *WeeklyProfiles {
+	w := &WeeklyProfiles{}
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		w.RAMLoadPct.Add(s.Time, float64(s.MemLoadPct))
+		w.SwapLoad.Add(s.Time, float64(s.SwapLoadPct))
+	}
+	for _, iv := range d.Intervals(2 * d.Period) {
+		w.CPUIdlePct.Add(iv.B.Time, iv.CPUIdlePct())
+		w.SentBps.Add(iv.B.Time, iv.SentBps())
+		w.RecvBps.Add(iv.B.Time, iv.RecvBps())
+	}
+	return w
+}
+
+// MinCPUIdleSlot returns the weekly slot with the lowest mean CPU idleness
+// and its value — the paper's Tuesday-afternoon dip below 91%.
+func (w *WeeklyProfiles) MinCPUIdleSlot() (slot int, idlePct float64) {
+	slot, idlePct = -1, 101
+	for i := range w.CPUIdlePct.Slots {
+		r := &w.CPUIdlePct.Slots[i]
+		if r.N() == 0 {
+			continue
+		}
+		if m := r.Mean(); m < idlePct {
+			idlePct = m
+			slot = i
+		}
+	}
+	return slot, idlePct
+}
+
+// SlotWeekday returns the weekday of a weekly slot (slot 0 is Monday).
+func SlotWeekday(slot int) time.Weekday {
+	day := slot / 96
+	return time.Weekday((day + 1) % 7) // Monday-first → Go's Sunday-first
+}
+
+// SlotClock returns the time-of-day of the start of a weekly slot.
+func SlotClock(slot int) (hour, minute int) {
+	q := slot % 96
+	return q / 4, (q % 4) * 15
+}
+
+// IdlenessWhen returns the CPU-idleness statistics over the intervals
+// whose closing sample satisfies pred — e.g. "labs closed" hours. The
+// paper's §5.3 observation that absolute idleness concentrates in nights
+// and weekends is the comparison IdlenessWhen(closed) vs IdlenessWhen(open).
+func IdlenessWhen(d *trace.Dataset, pred func(time.Time) bool) stats.Running {
+	var r stats.Running
+	for _, iv := range d.Intervals(2 * d.Period) {
+		if pred(iv.B.Time) {
+			r.Add(iv.CPUIdlePct())
+		}
+	}
+	return r
+}

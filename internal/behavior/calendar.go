@@ -1,0 +1,169 @@
+package behavior
+
+import (
+	"sort"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+// Calendar answers "are the classrooms open at time t?" following the
+// paper's §4.2: open 20 hours per day on weekdays (closed 4 am – 8 am),
+// open Saturdays until 9 pm, closed from Saturday 9 pm to Monday 8 am.
+type Calendar struct {
+	OpenHour     int
+	NightClose   int
+	SatCloseHour int
+}
+
+// IsOpen reports whether the classrooms are open at t.
+func (c Calendar) IsOpen(t time.Time) bool {
+	h := t.Hour()
+	switch t.Weekday() {
+	case time.Sunday:
+		return false
+	case time.Monday:
+		// Weekend closure runs until Monday 8 am.
+		return h >= c.OpenHour
+	case time.Saturday:
+		// Friday-night carry-over until 4 am, then open 8 am – 9 pm.
+		if h < c.NightClose {
+			return true
+		}
+		return h >= c.OpenHour && h < c.SatCloseHour
+	default: // Tuesday–Friday
+		return h < c.NightClose || h >= c.OpenHour
+	}
+}
+
+// NextClose returns the next instant at or after t when the labs close
+// (4 am on weekday nights, 9 pm on Saturday). If the labs are closed at t,
+// it returns t.
+func (c Calendar) NextClose(t time.Time) time.Time {
+	if !c.IsOpen(t) {
+		return t
+	}
+	u := t.Truncate(time.Hour)
+	for ; ; u = u.Add(time.Hour) {
+		if !c.IsOpen(u) && u.After(t) {
+			return u
+		}
+	}
+}
+
+// Class is one scheduled class occurrence pattern: a lab, a weekday, a
+// start hour and a duration, repeating every week of the experiment.
+type Class struct {
+	Lab       string
+	Day       time.Weekday
+	StartHour int
+	Duration  time.Duration
+	CPUHog    bool // the Tuesday-afternoon CPU-intensive class (§5.3)
+}
+
+// Timetable is the weekly class schedule for all labs.
+type Timetable struct {
+	Classes []Class
+}
+
+// GenerateTimetable draws a weekly timetable. Weekday class starts come
+// from the 2-hour teaching grid (8, 10, 14, 16, 18 with an occasional 12
+// o'clock slot); Saturdays use a reduced grid. The configured CPU-hog class
+// is always present.
+func GenerateTimetable(cfg Config, labs []string, src *rng.Source) Timetable {
+	weekdayStarts := []int{8, 10, 12, 14, 16, 18}
+	weekdayWeights := []float64{1.2, 1.4, 0.4, 1.4, 1.2, 0.8}
+	satStarts := []int{9, 11, 14}
+
+	var tt Timetable
+	for _, lb := range labs {
+		for d := time.Monday; d <= time.Friday; d++ {
+			n := src.Poisson(cfg.WeekdayClassMeanPerLab)
+			if n > 4 {
+				n = 4
+			}
+			used := map[int]bool{}
+			for i := 0; i < n; i++ {
+				start := weekdayStarts[src.Pick(weekdayWeights)]
+				if used[start] {
+					continue
+				}
+				used[start] = true
+				tt.Classes = append(tt.Classes, Class{
+					Lab: lb, Day: d, StartHour: start, Duration: cfg.ClassDuration,
+				})
+			}
+		}
+		if n := src.Poisson(cfg.SaturdayClassMeanPerLab); n > 0 {
+			if n > 2 {
+				n = 2
+			}
+			used := map[int]bool{}
+			for i := 0; i < n; i++ {
+				start := satStarts[src.Intn(len(satStarts))]
+				if used[start] {
+					continue
+				}
+				used[start] = true
+				tt.Classes = append(tt.Classes, Class{
+					Lab: lb, Day: time.Saturday, StartHour: start, Duration: cfg.ClassDuration,
+				})
+			}
+		}
+	}
+	// The CPU-intensive practical class observed by the paper: every
+	// CPUHogDay afternoon in the configured labs, displacing any generated
+	// class that would overlap it.
+	for _, lb := range cfg.CPUHogLabs {
+		hog := Class{
+			Lab: lb, Day: cfg.CPUHogDay, StartHour: cfg.CPUHogStartHour,
+			Duration: cfg.CPUHogDuration, CPUHog: true,
+		}
+		kept := tt.Classes[:0]
+		for _, c := range tt.Classes {
+			if c.Lab == lb && c.Day == hog.Day && overlaps(c, hog) {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		tt.Classes = append(kept, hog)
+	}
+	sort.Slice(tt.Classes, func(i, j int) bool {
+		a, b := tt.Classes[i], tt.Classes[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if a.StartHour != b.StartHour {
+			return a.StartHour < b.StartHour
+		}
+		return a.Lab < b.Lab
+	})
+	return tt
+}
+
+func overlaps(a, b Class) bool {
+	aEnd := a.StartHour + int(a.Duration/time.Hour)
+	bEnd := b.StartHour + int(b.Duration/time.Hour)
+	return a.StartHour < bEnd && b.StartHour < aEnd
+}
+
+// ForLab returns the classes of one lab, in weekly order.
+func (t Timetable) ForLab(lb string) []Class {
+	var out []Class
+	for _, c := range t.Classes {
+		if c.Lab == lb {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WeeklyLabHours returns the total scheduled class hours per week across
+// all labs, a useful calibration diagnostic.
+func (t Timetable) WeeklyLabHours() float64 {
+	var h float64
+	for _, c := range t.Classes {
+		h += c.Duration.Hours()
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+package behavior
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+var monday = time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC) // a Monday
+
+func defaultCal() Calendar {
+	cfg := DefaultConfig(1)
+	return Calendar{OpenHour: cfg.OpenHour, NightClose: cfg.NightClose, SatCloseHour: cfg.SatCloseHour}
+}
+
+func TestCalendarWeekPattern(t *testing.T) {
+	cal := defaultCal()
+	cases := []struct {
+		day  int // offset from Monday
+		hour int
+		open bool
+	}{
+		{0, 0, false},  // Monday 00:00 — weekend closure runs to 8 am
+		{0, 7, false},  // Monday 07:00
+		{0, 8, true},   // Monday 08:00 opens
+		{0, 23, true},  // Monday 23:00
+		{1, 2, true},   // Tuesday 02:00 (open until 4 am)
+		{1, 4, false},  // Tuesday 04:00 closes
+		{1, 7, false},  // Tuesday 07:59
+		{1, 8, true},   // Tuesday 08:00
+		{5, 2, true},   // Saturday 02:00 (Friday-night carry-over)
+		{5, 5, false},  // Saturday 05:00
+		{5, 10, true},  // Saturday 10:00
+		{5, 20, true},  // Saturday 20:00
+		{5, 21, false}, // Saturday 21:00 — weekend closure begins
+		{6, 12, false}, // Sunday noon
+		{7, 8, true},   // next Monday 08:00
+	}
+	for _, c := range cases {
+		at := monday.AddDate(0, 0, c.day).Add(time.Duration(c.hour) * time.Hour)
+		if got := cal.IsOpen(at); got != c.open {
+			t.Errorf("IsOpen(%s %02d:00) = %v, want %v", at.Weekday(), c.hour, got, c.open)
+		}
+	}
+}
+
+func TestCalendarOpenHoursPerWeek(t *testing.T) {
+	cal := defaultCal()
+	open := 0
+	for h := 0; h < 7*24; h++ {
+		if cal.IsOpen(monday.Add(time.Duration(h) * time.Hour)) {
+			open++
+		}
+	}
+	// Mon 8–24 (16) + Tue–Fri 0–4,8–24 (4×20) + Sat 0–4,8–21 (17) = 113.
+	if open != 113 {
+		t.Errorf("open hours per week = %d, want 113", open)
+	}
+}
+
+func TestNextClose(t *testing.T) {
+	cal := defaultCal()
+	at := monday.Add(10 * time.Hour) // Monday 10:00
+	got := cal.NextClose(at)
+	want := monday.AddDate(0, 0, 1).Add(4 * time.Hour) // Tuesday 04:00
+	if !got.Equal(want) {
+		t.Errorf("NextClose = %v, want %v", got, want)
+	}
+	// Closed time returns itself.
+	closed := monday.Add(5 * time.Hour)
+	if !cal.NextClose(closed).Equal(closed) {
+		t.Error("NextClose while closed should return t")
+	}
+	// Saturday afternoon closes at 21:00.
+	sat := monday.AddDate(0, 0, 5).Add(15 * time.Hour)
+	if got := cal.NextClose(sat); got.Hour() != 21 {
+		t.Errorf("Saturday NextClose = %v", got)
+	}
+}
+
+func TestGenerateTimetable(t *testing.T) {
+	cfg := DefaultConfig(1)
+	labs := []string{"L01", "L02", "L03", "L06"}
+	tt := GenerateTimetable(cfg, labs, rng.Derive(1, "tt"))
+
+	if len(tt.Classes) == 0 {
+		t.Fatal("empty timetable")
+	}
+	hogs := 0
+	for _, c := range tt.Classes {
+		if c.Day == time.Sunday {
+			t.Errorf("class on Sunday: %+v", c)
+		}
+		if c.StartHour < 8 || c.StartHour > 18 {
+			t.Errorf("class outside teaching grid: %+v", c)
+		}
+		if c.CPUHog {
+			hogs++
+			if c.Day != cfg.CPUHogDay || c.StartHour != cfg.CPUHogStartHour {
+				t.Errorf("CPU-hog class at wrong slot: %+v", c)
+			}
+		}
+	}
+	if hogs != 2 { // L03 and L06
+		t.Errorf("CPU-hog classes = %d, want 2", hogs)
+	}
+	// No overlapping classes within a lab on the same day.
+	for _, lb := range labs {
+		classes := tt.ForLab(lb)
+		for i := range classes {
+			for j := i + 1; j < len(classes); j++ {
+				a, b := classes[i], classes[j]
+				if a.Day == b.Day && overlaps(a, b) {
+					t.Errorf("%s: overlapping classes %+v and %+v", lb, a, b)
+				}
+			}
+		}
+	}
+	if tt.WeeklyLabHours() <= 0 {
+		t.Error("WeeklyLabHours = 0")
+	}
+}
+
+func TestGenerateTimetableDeterministic(t *testing.T) {
+	cfg := DefaultConfig(1)
+	labs := []string{"L01", "L02"}
+	a := GenerateTimetable(cfg, labs, rng.Derive(9, "tt"))
+	b := GenerateTimetable(cfg, labs, rng.Derive(9, "tt"))
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatal("timetables differ in size")
+	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatalf("class %d differs: %+v vs %+v", i, a.Classes[i], b.Classes[i])
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Class{StartHour: 8, Duration: 2 * time.Hour}
+	b := Class{StartHour: 10, Duration: 2 * time.Hour}
+	if overlaps(a, b) {
+		t.Error("back-to-back classes reported overlapping")
+	}
+	c := Class{StartHour: 9, Duration: 2 * time.Hour}
+	if !overlaps(a, c) {
+		t.Error("overlapping classes not detected")
+	}
+}

@@ -1,0 +1,232 @@
+package behavior
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/lab"
+	"winlab/internal/sim"
+)
+
+// oneLabModel builds a model over a single small lab with all autonomous
+// processes disabled, so tests can drive claims manually.
+func oneLabModel(seed int64) (*Model, *lab.Fleet, *sim.Engine) {
+	specs := []lab.Spec{{
+		Name: "T01", Machines: 4, CPUModel: "P4", CPUGHz: 2.4,
+		RAMMB: 512, DiskGB: 74.5, IntIndex: 30, FPIndex: 33, BaseImgGB: 20,
+	}}
+	fleet := lab.Build(specs, seed, lab.DefaultDiskLife())
+	cfg := DefaultConfig(seed)
+	cfg.ArrivalPeakPerHour = 0
+	cfg.PhantomPerOpenHour = 0
+	cfg.WeekdayClassMeanPerLab = 0
+	cfg.SaturdayClassMeanPerLab = 0
+	cfg.CPUHogLabs = nil
+	cfg.CrashRatePerHour = 0
+	md := NewModel(cfg, fleet)
+	eng := sim.New(monday.Add(10 * time.Hour)) // Monday 10:00, open
+	return md, fleet, eng
+}
+
+func TestClaimBootsOffMachine(t *testing.T) {
+	md, fleet, eng := oneLabModel(1)
+	mc := md.byLab["T01"][0]
+	if mc.m.Powered() {
+		t.Fatal("machine starts powered")
+	}
+	loggedIn := false
+	md.claim(eng, mc, func(e *sim.Engine) {
+		md.beginSession(e, mc, "u1", kindFree, md.drawProfile(mc.spec, false), time.Hour, false)
+		loggedIn = true
+	})
+	if !mc.pending {
+		t.Error("claim of off machine should be pending during boot")
+	}
+	eng.RunUntil(eng.Now().Add(5 * time.Minute))
+	if !loggedIn || !mc.m.Powered() || mc.m.Session() == nil {
+		t.Fatal("boot+login did not complete")
+	}
+	if got := fleet.Machines[0].Disk.PowerCycleCount(eng.Now()); got == 0 {
+		t.Error("boot did not increment SMART cycles")
+	}
+}
+
+func TestClaimRebootsForgottenSession(t *testing.T) {
+	md, _, eng := oneLabModel(2)
+	mc := md.byLab["T01"][1]
+	// Manually install a forgotten session.
+	md.claim(eng, mc, func(e *sim.Engine) {
+		md.beginSession(e, mc, "sleepy", kindFree, md.drawProfile(mc.spec, false), 0, false)
+	})
+	eng.RunUntil(eng.Now().Add(5 * time.Minute))
+	mc.m.Forget(eng.Now())
+	mc.kind = kindForgotten
+
+	cyclesBefore := mc.m.Disk.PowerCycleCount(eng.Now())
+	md.claim(eng, mc, func(e *sim.Engine) {
+		md.beginSession(e, mc, "fresh", kindFree, md.drawProfile(mc.spec, false), time.Hour, false)
+	})
+	eng.RunUntil(eng.Now().Add(5 * time.Minute))
+	if mc.m.Session() == nil || mc.m.Session().User != "fresh" {
+		t.Fatal("newcomer did not get the machine")
+	}
+	if got := mc.m.Disk.PowerCycleCount(eng.Now()); got != cyclesBefore+1 {
+		t.Errorf("reboot did not cycle the disk: %d -> %d", cyclesBefore, got)
+	}
+	// The forgotten session must be closed and logged.
+	logs := mc.m.SessionLog
+	if len(logs) == 0 || !logs[0].Forgotten || logs[0].User != "sleepy" {
+		t.Errorf("forgotten session log: %+v", logs)
+	}
+}
+
+func TestClaimPoweredIdleIsImmediate(t *testing.T) {
+	md, _, eng := oneLabModel(3)
+	mc := md.byLab["T01"][2]
+	md.claim(eng, mc, func(e *sim.Engine) {
+		md.beginSession(e, mc, "a", kindFree, md.drawProfile(mc.spec, false), time.Minute, false)
+	})
+	eng.RunUntil(eng.Now().Add(10 * time.Minute)) // session ends, machine may stay on
+	if mc.m.Powered() && mc.kind == kindNone {
+		cycles := mc.m.Disk.PowerCycleCount(eng.Now())
+		done := false
+		md.claim(eng, mc, func(e *sim.Engine) { done = true })
+		if !done {
+			t.Error("claim of powered idle machine was not immediate")
+		}
+		if got := mc.m.Disk.PowerCycleCount(eng.Now()); got != cycles {
+			t.Error("claim of powered machine cycled the disk")
+		}
+	}
+}
+
+func TestClaimPendingPanics(t *testing.T) {
+	md, _, eng := oneLabModel(4)
+	mc := md.byLab["T01"][3]
+	md.claim(eng, mc, func(*sim.Engine) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("claim of pending machine did not panic")
+		}
+	}()
+	md.claim(eng, mc, func(*sim.Engine) {})
+}
+
+func TestEndSessionWithoutSessionPanics(t *testing.T) {
+	md, _, eng := oneLabModel(5)
+	mc := md.byLab["T01"][0]
+	defer func() {
+		if recover() == nil {
+			t.Error("endSession without session did not panic")
+		}
+	}()
+	md.endSession(eng, mc, endOpts{})
+}
+
+func TestFastLabsPreferred(t *testing.T) {
+	// Two labs, same size, very different performance: arrivals must land
+	// disproportionately on the fast one.
+	specs := []lab.Spec{
+		{Name: "FAST", Machines: 8, CPUModel: "P4", CPUGHz: 2.6, RAMMB: 512,
+			DiskGB: 55.8, IntIndex: 39.3, FPIndex: 36.7, BaseImgGB: 16},
+		{Name: "SLOW", Machines: 8, CPUModel: "PIII", CPUGHz: 0.65, RAMMB: 128,
+			DiskGB: 14.5, IntIndex: 13.7, FPIndex: 12.2, BaseImgGB: 9},
+	}
+	fleet := lab.Build(specs, 6, lab.DefaultDiskLife())
+	cfg := DefaultConfig(6)
+	cfg.WeekdayClassMeanPerLab = 0
+	cfg.SaturdayClassMeanPerLab = 0
+	cfg.CPUHogLabs = nil
+	cfg.PhantomPerOpenHour = 0
+	md := NewModel(cfg, fleet)
+	eng := sim.New(monday)
+	end := monday.AddDate(0, 0, 5)
+	md.Install(eng, monday, end)
+	eng.RunUntil(end)
+
+	count := func(lb string) int {
+		n := 0
+		for _, m := range fleet.ByLab[lb] {
+			n += len(m.SessionLog)
+		}
+		return n
+	}
+	fast, slow := count("FAST"), count("SLOW")
+	if fast <= slow {
+		t.Errorf("lab preference inverted: FAST=%d SLOW=%d sessions", fast, slow)
+	}
+	if slow == 0 {
+		t.Error("slow lab never used (preference too absolute)")
+	}
+}
+
+func TestSessionDurationDistribution(t *testing.T) {
+	md, _, _ := oneLabModel(7)
+	var quickN, longN int
+	var sum time.Duration
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		quick := md.arrivals.Bool(md.cfg.QuickSessionProb)
+		d := md.drawSessionDuration(quick)
+		if quick {
+			quickN++
+			if d < md.cfg.QuickSessionLo || d > md.cfg.QuickSessionHi {
+				t.Fatalf("quick duration %v out of bounds", d)
+			}
+			continue
+		}
+		longN++
+		sum += d
+		if d < md.cfg.SessionMin || d > md.cfg.SessionMax {
+			t.Fatalf("duration %v out of bounds", d)
+		}
+	}
+	mean := sum / time.Duration(longN)
+	// Log-normal with clamping lands near the configured mean.
+	if mean < md.cfg.SessionMean*2/3 || mean > md.cfg.SessionMean*4/3 {
+		t.Errorf("mean session = %v, configured %v", mean, md.cfg.SessionMean)
+	}
+	frac := float64(quickN) / draws
+	if frac < md.cfg.QuickSessionProb-0.03 || frac > md.cfg.QuickSessionProb+0.03 {
+		t.Errorf("quick fraction = %v", frac)
+	}
+}
+
+func TestCrashRebootRelogsUser(t *testing.T) {
+	specs := []lab.Spec{{
+		Name: "T01", Machines: 1, CPUModel: "P4", CPUGHz: 2.4,
+		RAMMB: 512, DiskGB: 74.5, IntIndex: 30, FPIndex: 33, BaseImgGB: 20,
+	}}
+	fleet := lab.Build(specs, 8, lab.DefaultDiskLife())
+	cfg := DefaultConfig(8)
+	cfg.ArrivalPeakPerHour = 0
+	cfg.PhantomPerOpenHour = 0
+	cfg.WeekdayClassMeanPerLab = 0
+	cfg.SaturdayClassMeanPerLab = 0
+	cfg.CPUHogLabs = nil
+	cfg.CrashRatePerHour = 50 // crash almost immediately
+	md := NewModel(cfg, fleet)
+	eng := sim.New(monday.Add(10 * time.Hour))
+	mc := md.byLab["T01"][0]
+	md.claim(eng, mc, func(e *sim.Engine) {
+		md.beginSession(e, mc, "victim", kindFree, md.drawProfile(mc.spec, false), 8*time.Hour, false)
+	})
+	eng.RunUntil(eng.Now().Add(2 * time.Hour))
+	if md.Crashes == 0 {
+		t.Fatal("no crash at rate 50/h")
+	}
+	m := fleet.Machines[0]
+	// The crash closed the first session in the ground truth log.
+	found := false
+	for _, s := range m.SessionLog {
+		if s.User == "victim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("crashed session not logged")
+	}
+	if len(m.PowerLog) == 0 {
+		t.Error("crash did not record a power session")
+	}
+}

@@ -1,0 +1,248 @@
+package behavior
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config holds every tunable parameter of the workload model. The defaults
+// are calibrated so the emergent 77-day trace reproduces the paper's
+// headline aggregates (Table 2, Figures 2–6); nothing downstream is
+// hard-coded to those numbers.
+type Config struct {
+	Seed int64
+
+	// Calendar.
+	OpenHour     int // labs open (weekdays and Saturday)
+	NightClose   int // labs close at this hour (next day) on weekdays
+	SatCloseHour int // Saturday closing hour (21 = 9 pm)
+
+	// Class timetable generation.
+	WeekdayClassMeanPerLab  float64 // mean classes per lab per weekday
+	SaturdayClassMeanPerLab float64
+	ClassDuration           time.Duration
+	ClassAttendanceLo       float64 // per-class fraction of lab machines used
+	ClassAttendanceHi       float64
+	ClassRebootProb         float64      // student reboots the machine at class start
+	ClassStayProb           float64      // student keeps working after class
+	CPUHogLabs              []string     // labs hosting the CPU-heavy class
+	CPUHogDay               time.Weekday // the paper observed it on Tuesdays
+	CPUHogStartHour         int
+	CPUHogDuration          time.Duration
+	CPUHogLoadMean          float64 // ≈0.5: "consumed an average of 50% of CPU"
+
+	// Free (non-class) interactive use.
+	ArrivalPeakPerHour float64     // fleet-wide arrival rate at shape peak
+	HourShape          [24]float64 // arrival-rate multiplier by hour of day
+	SaturdayFactor     float64
+	QuickSessionProb   float64 // very short visits (print job, mail check)
+	QuickSessionLo     time.Duration
+	QuickSessionHi     time.Duration
+	SessionMean        time.Duration // log-normal session length
+	SessionSD          time.Duration
+	SessionMin         time.Duration
+	SessionMax         time.Duration
+	LabPrefGamma       float64 // lab choice ∝ perfIndex^gamma
+
+	// Forgotten logouts (§4.2 of the paper).
+	ForgetProb      float64 // session ends by walking away, not logging out
+	ForgetMemKeepLo float64 // fraction of app memory left committed
+	ForgetMemKeepHi float64
+
+	// Power management.
+	//
+	// Per-machine heterogeneity: each machine draws a stable "off bias"
+	// multiplying all of its shutdown probabilities. The population is a
+	// mixture: a LeaveOnFraction of machines have a small bias (nobody
+	// bothers shutting them down — the paper's ~30 machines with uptime
+	// ratios above 0.5), the rest are reliably shut down around closing
+	// time, which parks the bulk of the uptime distribution just below
+	// 0.5 as in Figure 4.
+	LeaveOnFraction     float64
+	LeaveOnBiasLo       float64
+	LeaveOnBiasHi       float64
+	CyclerBiasLo        float64
+	CyclerBiasHi        float64
+	OffAfterUseProb     float64 // shut down after a free session
+	OffAfterQuickProb   float64 // quick visitors usually power off again
+	OffAfterClassProb   float64 // shut down when class ends
+	OffAtCloseActive    float64 // shut down at closing time, user present
+	OffAtCloseIdle      float64 // idle powered machines swept at close
+	OffAtCloseForgotten float64 // machines with a forgotten session
+	BootDelayLo         time.Duration
+	BootDelayHi         time.Duration
+	CrashRatePerHour    float64 // session crash → reboot
+	PhantomPerOpenHour  float64 // fleet-wide rate of sub-10-minute power cycles
+
+	// Resource model.
+	OSMemMBByRAM                       map[int][2]float64 // RAM MB → (mean, sd) of OS commit
+	OSSwapFrac                         float64            // OS swap commit as fraction of OS mem
+	AppMemMBByRAM                      map[int][2]float64 // per-session application commit
+	AppSwapFrac                        float64
+	InteractiveCPUMean                 float64 // mean busy fraction of an interactive user
+	InteractiveCPUMax                  float64
+	RecvBpsMean                        float64 // interactive receive rate (client role)
+	RecvBpsSD                          float64
+	SentOverRecv                       float64 // sent ≈ this fraction of received
+	BackgroundCPULo, BackgroundCPUHi   float64
+	BackgroundSentLo, BackgroundSentHi float64       // bps
+	BackgroundRecvLo, BackgroundRecvHi float64       // bps
+	RedrawLo, RedrawHi                 time.Duration // interactive intensity redraw interval
+	TempGrowLoGB, TempGrowHiGB         float64       // initial session temp files
+	TempCapGB                          float64       // the 100–300 MB local quota
+	DiskJitterGB                       float64       // stable per-machine image jitter
+}
+
+// DefaultConfig returns the calibrated parameter set.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed: seed,
+
+		OpenHour:     8,
+		NightClose:   4,
+		SatCloseHour: 21,
+
+		WeekdayClassMeanPerLab:  2.3,
+		SaturdayClassMeanPerLab: 0.5,
+		ClassDuration:           2 * time.Hour,
+		ClassAttendanceLo:       0.55,
+		ClassAttendanceHi:       0.95,
+		ClassRebootProb:         0.10,
+		ClassStayProb:           0.12,
+		CPUHogLabs:              []string{"L03", "L06"},
+		CPUHogDay:               time.Tuesday,
+		CPUHogStartHour:         14,
+		CPUHogDuration:          3 * time.Hour,
+		CPUHogLoadMean:          0.50,
+
+		ArrivalPeakPerHour: 14.5,
+		HourShape: [24]float64{
+			0.22, 0.14, 0.09, 0.05, 0, 0, 0, 0, // 0–7 (closed 4–8)
+			0.50, 0.80, 1.00, 1.00, 0.70, 0.80, 1.00, 1.00, // 8–15
+			0.90, 0.80, 0.70, 0.60, 0.50, 0.45, 0.40, 0.30, // 16–23
+		},
+		SaturdayFactor:   0.45,
+		QuickSessionProb: 0.16,
+		QuickSessionLo:   3 * time.Minute,
+		QuickSessionHi:   12 * time.Minute,
+		SessionMean:      95 * time.Minute,
+		SessionSD:        115 * time.Minute,
+		SessionMin:       10 * time.Minute,
+		SessionMax:       10 * time.Hour,
+		LabPrefGamma:     1.6,
+
+		ForgetProb:      0.088,
+		ForgetMemKeepLo: 0.3,
+		ForgetMemKeepHi: 0.9,
+
+		LeaveOnFraction:     0.20,
+		LeaveOnBiasLo:       0.12,
+		LeaveOnBiasHi:       0.50,
+		CyclerBiasLo:        0.85,
+		CyclerBiasHi:        1.40,
+		OffAfterUseProb:     0.20,
+		OffAfterQuickProb:   0.80,
+		OffAfterClassProb:   0.18,
+		OffAtCloseActive:    0.85,
+		OffAtCloseIdle:      0.90,
+		OffAtCloseForgotten: 0.10,
+		BootDelayLo:         time.Minute,
+		BootDelayHi:         150 * time.Second,
+		CrashRatePerHour:    0.02,
+		PhantomPerOpenHour:  3.4,
+
+		OSMemMBByRAM: map[int][2]float64{
+			512: {212, 25},
+			256: {140, 18},
+			128: {86, 9},
+		},
+		OSSwapFrac: 0.70,
+		AppMemMBByRAM: map[int][2]float64{
+			512: {88, 38},
+			256: {52, 22},
+			128: {28, 11},
+		},
+		AppSwapFrac:        0.62,
+		InteractiveCPUMean: 0.060,
+		InteractiveCPUMax:  0.85,
+		RecvBpsMean:        11500,
+		RecvBpsSD:          20000,
+		SentOverRecv:       0.30,
+		BackgroundCPULo:    0.001,
+		BackgroundCPUHi:    0.005,
+		BackgroundSentLo:   100,
+		BackgroundSentHi:   330,
+		BackgroundRecvLo:   120,
+		BackgroundRecvHi:   420,
+		RedrawLo:           5 * time.Minute,
+		RedrawHi:           15 * time.Minute,
+		TempGrowLoGB:       0.02,
+		TempGrowHiGB:       0.15,
+		TempCapGB:          0.30,
+		DiskJitterGB:       0.8,
+	}
+}
+
+// Validate checks the configuration for values that would make the model
+// misbehave silently (probabilities outside [0,1], inverted ranges,
+// missing resource classes for the fleet is checked at run time).
+func (c *Config) Validate() error {
+	probs := map[string]float64{
+		"ClassRebootProb":     c.ClassRebootProb,
+		"ClassStayProb":       c.ClassStayProb,
+		"QuickSessionProb":    c.QuickSessionProb,
+		"ForgetProb":          c.ForgetProb,
+		"LeaveOnFraction":     c.LeaveOnFraction,
+		"OffAfterUseProb":     c.OffAfterUseProb,
+		"OffAfterQuickProb":   c.OffAfterQuickProb,
+		"OffAfterClassProb":   c.OffAfterClassProb,
+		"OffAtCloseActive":    c.OffAtCloseActive,
+		"OffAtCloseIdle":      c.OffAtCloseIdle,
+		"OffAtCloseForgotten": c.OffAtCloseForgotten,
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("behavior: %s = %v outside [0,1]", name, p)
+		}
+	}
+	if c.OpenHour < 0 || c.OpenHour > 23 || c.NightClose < 0 || c.NightClose > 23 ||
+		c.SatCloseHour < 0 || c.SatCloseHour > 23 {
+		return fmt.Errorf("behavior: calendar hours outside 0..23")
+	}
+	if c.NightClose >= c.OpenHour {
+		return fmt.Errorf("behavior: NightClose (%d) must precede OpenHour (%d)", c.NightClose, c.OpenHour)
+	}
+	ranges := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"ClassAttendance", c.ClassAttendanceLo, c.ClassAttendanceHi},
+		{"QuickSession", float64(c.QuickSessionLo), float64(c.QuickSessionHi)},
+		{"Session min/max", float64(c.SessionMin), float64(c.SessionMax)},
+		{"LeaveOnBias", c.LeaveOnBiasLo, c.LeaveOnBiasHi},
+		{"CyclerBias", c.CyclerBiasLo, c.CyclerBiasHi},
+		{"BootDelay", float64(c.BootDelayLo), float64(c.BootDelayHi)},
+		{"Redraw", float64(c.RedrawLo), float64(c.RedrawHi)},
+	}
+	for _, r := range ranges {
+		if r.lo > r.hi {
+			return fmt.Errorf("behavior: %s range inverted (%v > %v)", r.name, r.lo, r.hi)
+		}
+		if r.lo < 0 {
+			return fmt.Errorf("behavior: %s range negative", r.name)
+		}
+	}
+	for _, rate := range []float64{c.ArrivalPeakPerHour, c.CrashRatePerHour, c.PhantomPerOpenHour,
+		c.WeekdayClassMeanPerLab, c.SaturdayClassMeanPerLab} {
+		if rate < 0 {
+			return fmt.Errorf("behavior: negative rate %v", rate)
+		}
+	}
+	if c.SessionMean <= 0 || c.ClassDuration <= 0 {
+		return fmt.Errorf("behavior: non-positive durations")
+	}
+	if c.InteractiveCPUMean < 0 || c.InteractiveCPUMax > 1 || c.InteractiveCPUMean > c.InteractiveCPUMax {
+		return fmt.Errorf("behavior: interactive CPU bounds invalid")
+	}
+	return nil
+}

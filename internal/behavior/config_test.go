@@ -1,0 +1,40 @@
+package behavior
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"probability above 1", func(c *Config) { c.ForgetProb = 1.5 }},
+		{"negative probability", func(c *Config) { c.OffAtCloseIdle = -0.1 }},
+		{"calendar hour", func(c *Config) { c.OpenHour = 25 }},
+		{"close after open", func(c *Config) { c.NightClose = 9 }},
+		{"inverted attendance", func(c *Config) { c.ClassAttendanceLo, c.ClassAttendanceHi = 0.9, 0.5 }},
+		{"inverted session bounds", func(c *Config) { c.SessionMin = c.SessionMax + time.Hour }},
+		{"negative rate", func(c *Config) { c.ArrivalPeakPerHour = -1 }},
+		{"zero session mean", func(c *Config) { c.SessionMean = 0 }},
+		{"cpu mean above max", func(c *Config) { c.InteractiveCPUMean = 0.95; c.InteractiveCPUMax = 0.9 }},
+		{"inverted bias", func(c *Config) { c.LeaveOnBiasLo, c.LeaveOnBiasHi = 2, 1 }},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			cse.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("%s accepted", cse.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package behavior
+
+import (
+	"time"
+
+	"winlab/internal/lab"
+	"winlab/internal/machine"
+	"winlab/internal/sim"
+)
+
+// drawProfile draws the resource profile of a new interactive session.
+func (md *Model) drawProfile(spec lab.Spec, hog bool) profile {
+	cfg := md.cfg
+	mean, sd := cfg.AppMemMBByRAM[spec.RAMMB][0], cfg.AppMemMBByRAM[spec.RAMMB][1]
+	appMem := md.res.BoundedNormal(mean, sd, 8, 0.9*float64(spec.RAMMB))
+	return profile{
+		appMemMB:  appMem,
+		appSwapMB: appMem * cfg.AppSwapFrac,
+		cpuBase:   clampF(md.res.Exponential(cfg.InteractiveCPUMean), 0.004, cfg.InteractiveCPUMax),
+		recvBase:  clampF(md.res.LogNormal(cfg.RecvBpsMean, cfg.RecvBpsSD), 300, 400e3),
+		sentFrac:  cfg.SentOverRecv * md.res.Uniform(0.6, 1.4),
+		hog:       hog,
+	}
+}
+
+// beginSession logs a user in and installs the session's activities,
+// redraws and crash process. endAt, when non-zero, schedules the session's
+// natural end (free sessions); class sessions end at the class-end event.
+func (md *Model) beginSession(eng *sim.Engine, mc *machCtl, user string, kind sessKind, prof profile, dur time.Duration, quick bool) {
+	t := eng.Now()
+	mc.m.Login(t, user)
+	md.Logins++
+	mc.kind = kind
+	mc.prof = prof
+	mc.tempGB = md.res.Uniform(md.cfg.TempGrowLoGB, md.cfg.TempGrowHiGB)
+	mc.m.GrowTemp(t, mc.tempGB)
+	md.applyIntensity(eng, mc)
+	md.scheduleRedraw(eng, mc)
+	md.scheduleCrash(eng, mc)
+	if dur > 0 {
+		mc.endEv = eng.After(dur, "session-end", func(e *sim.Engine) {
+			mc.endEv = nil
+			md.endSession(e, mc, endOpts{
+				offProb:       md.offProbAfter(kind, quick),
+				forgetAllowed: !quick,
+			})
+		})
+	}
+}
+
+func (md *Model) offProbAfter(kind sessKind, quick bool) float64 {
+	switch {
+	case quick:
+		return md.cfg.OffAfterQuickProb
+	case kind == kindClass:
+		return md.cfg.OffAfterClassProb
+	default:
+		return md.cfg.OffAfterUseProb
+	}
+}
+
+// endOpts controls how a session terminates.
+type endOpts struct {
+	offProb       float64
+	forgetAllowed bool
+}
+
+// endSession terminates the active session on mc: the user either logs out
+// (and possibly shuts the machine down) or walks away leaving the session
+// open (a forgotten logout, §4.2).
+func (md *Model) endSession(eng *sim.Engine, mc *machCtl, opts endOpts) {
+	if mc.kind != kindFree && mc.kind != kindClass {
+		panic("behavior: endSession without active session on " + mc.m.ID)
+	}
+	t := eng.Now()
+	md.cancelSessionEvents(eng, mc)
+	if opts.forgetAllowed && md.power.Bool(md.cfg.ForgetProb) {
+		// Walked away: session stays open, applications linger half-closed,
+		// resource usage returns to near-idle.
+		md.Forgets++
+		mc.m.Forget(t)
+		keep := md.power.Uniform(md.cfg.ForgetMemKeepLo, md.cfg.ForgetMemKeepHi)
+		mc.m.ClearActivity(t, machine.ActClass)
+		mc.m.SetActivity(t, machine.Activity{
+			Name:   machine.ActInteractive,
+			CPU:    md.res.Uniform(0.001, 0.004),
+			MemMB:  mc.prof.appMemMB * keep,
+			SwapMB: mc.prof.appSwapMB * keep,
+		})
+		mc.kind = kindForgotten
+		return
+	}
+	mc.m.ClearActivity(t, machine.ActClass)
+	mc.m.ClearActivity(t, machine.ActInteractive)
+	mc.m.Logout(t)
+	mc.kind = kindNone
+	if md.power.Bool(clampF(opts.offProb*mc.offBias, 0, 1)) {
+		md.powerOff(eng, mc)
+	}
+}
+
+// applyIntensity redraws the instantaneous resource intensity of the
+// session around its per-session profile.
+func (md *Model) applyIntensity(eng *sim.Engine, mc *machCtl) {
+	t := eng.Now()
+	p := mc.prof
+	cpu := clampF(md.res.Exponential(p.cpuBase), 0.002, md.cfg.InteractiveCPUMax)
+	recv := clampF(md.res.Exponential(p.recvBase), 100, 2e6)
+	mc.m.SetActivity(t, machine.Activity{
+		Name:    machine.ActInteractive,
+		CPU:     cpu,
+		RecvBps: recv,
+		SendBps: recv * p.sentFrac,
+		MemMB:   p.appMemMB * md.res.Uniform(0.9, 1.1),
+		SwapMB:  p.appSwapMB,
+	})
+	if p.hog {
+		mc.m.SetActivity(t, machine.Activity{
+			Name: machine.ActClass,
+			CPU:  md.res.BoundedNormal(md.cfg.CPUHogLoadMean, 0.12, 0.15, 0.95),
+		})
+	}
+	// Session temp files creep up toward the local quota.
+	if mc.tempGB < md.cfg.TempCapGB {
+		g := md.res.Uniform(0, 0.02)
+		if mc.tempGB+g > md.cfg.TempCapGB {
+			g = md.cfg.TempCapGB - mc.tempGB
+		}
+		mc.tempGB += g
+		mc.m.GrowTemp(t, g)
+	}
+}
+
+func (md *Model) scheduleRedraw(eng *sim.Engine, mc *machCtl) {
+	d := time.Duration(md.res.Uniform(float64(md.cfg.RedrawLo), float64(md.cfg.RedrawHi)))
+	mc.redrawEv = eng.After(d, "redraw", func(e *sim.Engine) {
+		mc.redrawEv = nil
+		if mc.kind != kindFree && mc.kind != kindClass {
+			return
+		}
+		md.applyIntensity(e, mc)
+		md.scheduleRedraw(e, mc)
+	})
+}
+
+// scheduleCrash arms the session's crash process: with a small hourly rate
+// the machine bluescreens, reboots, and the user usually logs back in.
+func (md *Model) scheduleCrash(eng *sim.Engine, mc *machCtl) {
+	if md.cfg.CrashRatePerHour <= 0 {
+		return
+	}
+	wait := time.Duration(md.power.Exponential(1/md.cfg.CrashRatePerHour) * float64(time.Hour))
+	mc.crashEv = eng.After(wait, "crash", func(e *sim.Engine) {
+		mc.crashEv = nil
+		if mc.kind != kindFree && mc.kind != kindClass {
+			return
+		}
+		md.Crashes++
+		user := mc.m.Session().User
+		wasKind := mc.kind
+		tag := mc.classTag
+		md.cancelSessionEvents(eng, mc)
+		mc.kind = kindNone
+		mc.m.PowerOff(e.Now()) // closes the session in the ground-truth log
+		mc.pending = true
+		delay := time.Duration(md.power.Uniform(float64(md.cfg.BootDelayLo), float64(md.cfg.BootDelayHi)))
+		e.After(delay, "crash-reboot", func(e2 *sim.Engine) {
+			mc.pending = false
+			md.powerOn(e2, mc)
+			if md.power.Bool(0.8) { // user logs back in to finish work
+				prof := mc.prof
+				switch wasKind {
+				case kindClass:
+					mc.classTag = tag
+					md.beginSession(e2, mc, user, kindClass, prof, 0, false)
+				default:
+					dur := md.drawSessionDuration(false)
+					md.beginSession(e2, mc, user, kindFree, prof, dur, false)
+				}
+			}
+		})
+	})
+}
+
+// drawSessionDuration draws a free-session length; quick selects the
+// short-visit distribution.
+func (md *Model) drawSessionDuration(quick bool) time.Duration {
+	cfg := md.cfg
+	if quick {
+		return time.Duration(md.arrivals.Uniform(float64(cfg.QuickSessionLo), float64(cfg.QuickSessionHi)))
+	}
+	d := time.Duration(md.arrivals.LogNormal(float64(cfg.SessionMean), float64(cfg.SessionSD)))
+	if d < cfg.SessionMin {
+		d = cfg.SessionMin
+	}
+	if d > cfg.SessionMax {
+		d = cfg.SessionMax
+	}
+	return d
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,106 @@
+// Package ddc reimplements the paper's Distributed Data Collector (§3): a
+// central coordinator that periodically executes a software probe on every
+// machine of a set, captures the probe's standard output and feeds it to
+// post-collecting code.
+//
+// The remote-execution mechanism is abstracted behind Executor. Two
+// implementations exist: Direct (in-process against the simulated fleet,
+// the moral equivalent of psexec inside the simulation) and TCPExecutor
+// (a real network transport against probe agents, see tcpx.go).
+package ddc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrUnreachable is returned by an Executor when the target machine did
+// not respond — powered off, or the remote-execution timed out.
+var ErrUnreachable = errors.New("ddc: machine unreachable")
+
+// Executor runs the probe binary on a remote machine and returns its
+// standard output.
+type Executor interface {
+	Exec(machineID string) (stdout []byte, err error)
+}
+
+// PostCollect is the coordinator-side hook run after every probe attempt,
+// successful or not — the paper's "post-collecting code". stdout is nil
+// when err is non-nil.
+type PostCollect func(iter int, machineID string, stdout []byte, err error)
+
+// Config configures a collector run.
+type Config struct {
+	Machines []string      // probe targets, probed sequentially in order
+	Period   time.Duration // iteration period (the paper used 15 minutes)
+
+	// Probe pacing: how long one remote execution takes. DDC probes
+	// sequentially, so these latencies spread an iteration's samples over
+	// several minutes, exactly like the paper's coordinator did.
+	LatencyOK   func() time.Duration // successful execution
+	LatencyFail func() time.Duration // timeout on an unreachable machine
+
+	// Outages: intervals during which the coordinator is down. Iterations
+	// whose start falls inside an outage are skipped entirely (the paper
+	// ran 6883 of the 7392 possible iterations).
+	Outages []Outage
+}
+
+// Outage is a coordinator downtime window.
+type Outage struct {
+	Start, End time.Time
+}
+
+// Contains reports whether t falls inside the outage.
+func (o Outage) Contains(t time.Time) bool {
+	return !t.Before(o.Start) && t.Before(o.End)
+}
+
+// Stats summarises a collector run.
+type Stats struct {
+	Iterations int
+	Skipped    int // iterations lost to coordinator outages
+	Attempts   int
+	Samples    int
+}
+
+// Validate checks a configuration for the mistakes that otherwise surface
+// as confusing scheduling behaviour.
+func (c *Config) Validate() error {
+	if len(c.Machines) == 0 {
+		return fmt.Errorf("ddc: no machines configured")
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("ddc: non-positive period %v", c.Period)
+	}
+	for _, o := range c.Outages {
+		if !o.End.After(o.Start) {
+			return fmt.Errorf("ddc: outage ends (%v) before it starts (%v)", o.End, o.Start)
+		}
+	}
+	return nil
+}
+
+func (c *Config) inOutage(t time.Time) bool {
+	for _, o := range c.Outages {
+		if o.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) latOK() time.Duration {
+	if c.LatencyOK != nil {
+		return c.LatencyOK()
+	}
+	return 1500 * time.Millisecond
+}
+
+func (c *Config) latFail() time.Duration {
+	if c.LatencyFail != nil {
+		return c.LatencyFail()
+	}
+	return 4 * time.Second
+}

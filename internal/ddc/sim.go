@@ -1,0 +1,105 @@
+package ddc
+
+import (
+	"time"
+
+	"winlab/internal/machine"
+	"winlab/internal/probe"
+	"winlab/internal/sim"
+)
+
+// StateSource provides machine snapshots at a given instant. The simulated
+// fleet implements it via an adapter; a live agent implements it against
+// real machine state.
+type StateSource interface {
+	// Snapshot probes the machine; ok is false when it is unreachable.
+	Snapshot(machineID string, at time.Time) (machine.Snapshot, bool)
+}
+
+// Direct is an Executor that runs the probe in-process against a
+// StateSource using a clock function — the simulation equivalent of
+// psexec-ing W32Probe on the target host.
+type Direct struct {
+	Source StateSource
+	Now    func() time.Time
+}
+
+// Exec renders the probe report for the machine, or ErrUnreachable.
+func (d *Direct) Exec(machineID string) ([]byte, error) {
+	sn, ok := d.Source.Snapshot(machineID, d.Now())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return probe.Render(sn), nil
+}
+
+// SimCollector drives the collection loop on a discrete-event engine: one
+// iteration per period, machines probed sequentially with per-probe
+// latency, every outcome handed to the post-collect hook.
+type SimCollector struct {
+	Cfg  Config
+	Exec Executor
+	Post PostCollect
+
+	// OnIteration, when set, is called when an iteration finishes with the
+	// number of machines that responded.
+	OnIteration func(iter int, start time.Time, attempted, responded int)
+
+	stats Stats
+}
+
+// Stats returns the collector's accumulated run statistics.
+func (c *SimCollector) Stats() Stats { return c.stats }
+
+// Install schedules the collection loop on the engine from start to end.
+func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
+	if err := c.Cfg.Validate(); err != nil {
+		return err
+	}
+	iter := 0
+	for at := start; at.Before(end); at = at.Add(c.Cfg.Period) {
+		at := at
+		thisIter := iter
+		iter++
+		if c.Cfg.inOutage(at) {
+			c.stats.Skipped++
+			continue
+		}
+		eng.At(at, "ddc-iteration", func(e *sim.Engine) {
+			c.runIteration(e, thisIter, at)
+		})
+	}
+	return nil
+}
+
+// runIteration probes the machines sequentially as a chain of events, each
+// delayed by the previous probe's latency.
+func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) {
+	c.stats.Iterations++
+	responded := 0
+	var step func(e *sim.Engine, idx int)
+	step = func(e *sim.Engine, idx int) {
+		if idx >= len(c.Cfg.Machines) {
+			if c.OnIteration != nil {
+				c.OnIteration(iter, start, len(c.Cfg.Machines), responded)
+			}
+			return
+		}
+		id := c.Cfg.Machines[idx]
+		out, err := c.Exec.Exec(id)
+		c.stats.Attempts++
+		var lat time.Duration
+		if err != nil {
+			lat = c.Cfg.latFail()
+		} else {
+			lat = c.Cfg.latOK()
+			c.stats.Samples++
+			responded++
+		}
+		if c.Post != nil {
+			c.Post(iter, id, out, err)
+		}
+		e.After(lat, "ddc-probe", func(e2 *sim.Engine) { step(e2, idx+1) })
+	}
+	step(eng, 0)
+}

@@ -1,0 +1,70 @@
+package ddc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"winlab/internal/probe"
+	"winlab/internal/trace"
+)
+
+// DatasetSink is the standard post-collecting code: it parses every probe
+// report and accumulates a trace.Dataset, exactly like the paper's Python
+// post-collect extracted and stored the relevant metrics at the
+// coordinator. It is safe for concurrent use (the TCP collector probes
+// from multiple goroutines when configured to).
+type DatasetSink struct {
+	mu sync.Mutex
+	d  *trace.Dataset
+
+	// ParseErrors counts malformed reports (should stay zero; a non-zero
+	// value indicates a probe/transport bug).
+	ParseErrors int
+	lastErr     error
+}
+
+// NewDatasetSink creates a sink collecting into a dataset with the given
+// experiment bounds and sampling period.
+func NewDatasetSink(start, end time.Time, period time.Duration, machines []trace.MachineInfo) *DatasetSink {
+	return &DatasetSink{d: &trace.Dataset{
+		Start:    start,
+		End:      end,
+		Period:   period,
+		Machines: machines,
+	}}
+}
+
+// Post is the PostCollect hook.
+func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error) {
+	if err != nil {
+		return // unreachable machine: no sample
+	}
+	sn, perr := probe.Parse(stdout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if perr != nil {
+		s.ParseErrors++
+		s.lastErr = fmt.Errorf("machine %s: %w", machineID, perr)
+		return
+	}
+	s.d.Samples = append(s.d.Samples, trace.FromSnapshot(iter, sn))
+}
+
+// OnIteration records per-iteration bookkeeping; wire it to
+// SimCollector.OnIteration.
+func (s *DatasetSink) OnIteration(iter int, start time.Time, attempted, responded int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Iterations = append(s.d.Iterations, trace.Iteration{
+		Iter: iter, Start: start, Attempted: attempted, Responded: responded,
+	})
+}
+
+// Dataset returns the collected dataset. The last parse error, if any, is
+// returned so callers cannot silently analyse a corrupted trace.
+func (s *DatasetSink) Dataset() (*trace.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d, s.lastErr
+}

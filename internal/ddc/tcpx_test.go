@@ -1,0 +1,254 @@
+package ddc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"winlab/internal/machine"
+	"winlab/internal/probe"
+)
+
+// lockedSource guards a machine map for concurrent agent access.
+type lockedSource struct {
+	mu  sync.Mutex
+	ms  map[string]*machine.Machine
+	now time.Time
+}
+
+func (s *lockedSource) Snapshot(id string, _ time.Time) (machine.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.ms[id]
+	if !ok {
+		return machine.Snapshot{}, false
+	}
+	return m.Snapshot(s.now)
+}
+
+func newTCPFixture(t *testing.T) (*lockedSource, *TCPExecutor, func()) {
+	t.Helper()
+	src := &lockedSource{ms: map[string]*machine.Machine{}, now: t0.Add(time.Hour)}
+	for _, id := range []string{"M1", "M2"} {
+		m := newMachine(id)
+		m.PowerOn(t0)
+		src.ms[id] = m
+	}
+	// M2 is powered off: unreachable.
+	src.ms["M2"].PowerOff(t0.Add(30 * time.Minute))
+
+	agent := &Agent{Source: src, Now: func() time.Time { return src.now }}
+	addr, err := agent.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewTCPExecutor()
+	exec.Timeout = 2 * time.Second
+	exec.Register("M1", addr)
+	exec.Register("M2", addr)
+	return src, exec, func() { _ = agent.Close() }
+}
+
+func TestTCPProbeSuccess(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	out, err := exec.Exec("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := probe.Parse(out)
+	if err != nil {
+		t.Fatalf("unparseable report over TCP: %v", err)
+	}
+	if sn.ID != "M1" || sn.Uptime != time.Hour {
+		t.Errorf("parsed %+v", sn)
+	}
+}
+
+func TestTCPProbeUnreachableMachine(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	_, err := exec.Exec("M2")
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPProbeUnregistered(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	if _, err := exec.Exec("M9"); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPProbeDeadAgent(t *testing.T) {
+	exec := NewTCPExecutor()
+	exec.Timeout = 500 * time.Millisecond
+	// A listener we immediately close: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	exec.Register("M1", addr)
+	if _, err := exec.Exec("M1"); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAgentRejectsBadRequest(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	// Reach into the registry for the address.
+	exec.mu.RLock()
+	addr := exec.addrs["M1"]
+	exec.mu.RUnlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GIMME\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "ERR") {
+		t.Errorf("agent reply to bad request: %q", buf[:n])
+	}
+}
+
+func TestTCPConcurrentProbes(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := exec.Exec("M1")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := probe.Parse(out); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWallCollectorAgainstTCP(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	sink := NewDatasetSink(t0, t0.AddDate(0, 0, 1), time.Millisecond, nil)
+	coll := &WallCollector{
+		Cfg:  Config{Machines: []string{"M1", "M2"}, Period: time.Millisecond},
+		Exec: exec,
+		Post: sink.Post,
+	}
+	coll.OnIteration = sink.OnIteration
+	st, err := coll.Run(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 3 || st.Attempts != 6 || st.Samples != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	ds, err := sink.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 3 || len(ds.Iterations) != 3 {
+		t.Errorf("dataset: %d samples, %d iterations", len(ds.Samples), len(ds.Iterations))
+	}
+	if sink.ParseErrors != 0 {
+		t.Errorf("parse errors = %d", sink.ParseErrors)
+	}
+}
+
+func TestWallCollectorStop(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	st, err := (&WallCollector{
+		Cfg:  Config{Machines: []string{"M1"}, Period: time.Hour},
+		Exec: exec,
+	}).Run(5, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1 (stopped)", st.Iterations)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stop did not interrupt the sleep")
+	}
+}
+
+func TestWallCollectorBadConfig(t *testing.T) {
+	if _, err := (&WallCollector{Cfg: Config{}}).Run(1, nil); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestWallCollectorConcurrentWorkers(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	sink := NewDatasetSink(t0, t0.AddDate(0, 0, 1), time.Millisecond, nil)
+	coll := &WallCollector{
+		Cfg:     Config{Machines: []string{"M1", "M2", "M1", "M2"}, Period: time.Millisecond},
+		Exec:    exec,
+		Post:    sink.Post,
+		Workers: 4,
+	}
+	st, err := coll.Run(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != 8 || st.Samples != 4 { // M1 up twice per iteration
+		t.Errorf("stats = %+v", st)
+	}
+	ds, err := sink.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 4 || sink.ParseErrors != 0 {
+		t.Errorf("samples = %d, parse errors = %d", len(ds.Samples), sink.ParseErrors)
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	_, exec, cleanup := newTCPFixture(t)
+	defer cleanup()
+	run := func(workers int) Stats {
+		st, err := (&WallCollector{
+			Cfg:     Config{Machines: []string{"M1", "M2"}, Period: time.Millisecond},
+			Exec:    exec,
+			Workers: workers,
+		}).Run(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq := run(1)
+	par := run(8)
+	if seq.Samples != par.Samples || seq.Attempts != par.Attempts {
+		t.Errorf("sequential %+v != concurrent %+v", seq, par)
+	}
+}

@@ -1,0 +1,181 @@
+// Package experiment orchestrates the end-to-end reproduction: build the
+// fleet, animate it with the behaviour model, run the DDC collector over
+// it for the experiment duration, and hand back the collected trace
+// together with the simulator's ground truth (for ablations that quantify
+// what 15-minute sampling misses).
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"winlab/internal/behavior"
+	"winlab/internal/ddc"
+	"winlab/internal/lab"
+	"winlab/internal/machine"
+	"winlab/internal/rng"
+	"winlab/internal/sim"
+	"winlab/internal/trace"
+)
+
+// Config configures a full experiment run.
+type Config struct {
+	Seed   int64
+	Start  time.Time     // experiment start; the default is a Monday 00:00
+	Days   int           // the paper monitored for 77 days
+	Period time.Duration // sampling period (15 minutes in the paper)
+
+	Labs     []lab.Spec
+	DiskLife lab.DiskLife
+	Behavior behavior.Config
+
+	// Coordinator outages: the paper completed 6883 of 7392 possible
+	// iterations (~6.9% lost). OutageFraction is the target fraction of
+	// lost iterations; OutageMeanLen the mean outage length.
+	OutageFraction float64
+	OutageMeanLen  time.Duration
+}
+
+// Default returns the configuration reproducing the paper's experiment.
+func Default(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Start:          time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC), // a Monday
+		Days:           77,
+		Period:         15 * time.Minute,
+		Labs:           lab.PaperCatalog(),
+		DiskLife:       lab.DefaultDiskLife(),
+		Behavior:       behavior.DefaultConfig(seed),
+		OutageFraction: 0.069,
+		OutageMeanLen:  3 * time.Hour,
+	}
+}
+
+// End returns the experiment end time.
+func (c Config) End() time.Time { return c.Start.AddDate(0, 0, c.Days) }
+
+// Result is the outcome of a run: the collected trace plus ground truth.
+type Result struct {
+	Config    Config
+	Dataset   *trace.Dataset
+	Fleet     *lab.Fleet      // ground-truth power/session logs live here
+	Model     *behavior.Model // behaviour diagnostics (boots, forgets, ...)
+	Collector ddc.Stats
+}
+
+// fleetSource adapts the fleet to the collector's StateSource.
+type fleetSource struct{ fleet *lab.Fleet }
+
+func (f fleetSource) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
+	m := f.fleet.Get(id)
+	if m == nil {
+		return machine.Snapshot{}, false
+	}
+	return m.Snapshot(at)
+}
+
+// Run executes the full experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive duration %d days", cfg.Days)
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive period %v", cfg.Period)
+	}
+	if err := cfg.Behavior.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	start, end := cfg.Start, cfg.End()
+
+	fleet := lab.Build(cfg.Labs, cfg.Seed, cfg.DiskLife)
+	model := behavior.NewModel(cfg.Behavior, fleet)
+	eng := sim.New(start)
+	model.Install(eng, start, end)
+
+	ids := make([]string, 0, fleet.Size())
+	infos := make([]trace.MachineInfo, 0, fleet.Size())
+	for _, m := range fleet.Machines {
+		ids = append(ids, m.ID)
+		infos = append(infos, trace.MachineInfo{
+			ID: m.ID, Lab: m.Lab, RAMMB: m.HW.RAMMB, DiskGB: m.HW.DiskGB,
+			IntIndex: m.HW.IntIndex, FPIndex: m.HW.FPIndex,
+		})
+	}
+
+	lat := rng.Derive(cfg.Seed, "latency")
+	sink := ddc.NewDatasetSink(start, end, cfg.Period, infos)
+	coll := &ddc.SimCollector{
+		Cfg: ddc.Config{
+			Machines: ids,
+			Period:   cfg.Period,
+			LatencyOK: func() time.Duration {
+				return time.Duration(lat.Uniform(float64(500*time.Millisecond), float64(2500*time.Millisecond)))
+			},
+			LatencyFail: func() time.Duration {
+				return time.Duration(lat.Uniform(float64(2*time.Second), float64(6*time.Second)))
+			},
+			Outages: GenerateOutages(cfg),
+		},
+		Exec: &ddc.Direct{
+			Source: fleetSource{fleet},
+			Now:    eng.Now,
+		},
+		Post: sink.Post,
+	}
+	coll.OnIteration = sink.OnIteration
+	if err := coll.Install(eng, start, end); err != nil {
+		return nil, err
+	}
+
+	eng.RunUntil(end)
+
+	ds, err := sink.Dataset()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: corrupt probe output: %w", err)
+	}
+	ds.SortSamples()
+	return &Result{
+		Config:    cfg,
+		Dataset:   ds,
+		Fleet:     fleet,
+		Model:     model,
+		Collector: coll.Stats(),
+	}, nil
+}
+
+// GenerateOutages draws coordinator downtime windows totalling roughly
+// OutageFraction of the experiment, with exponentially distributed
+// lengths.
+func GenerateOutages(cfg Config) []ddc.Outage {
+	if cfg.OutageFraction <= 0 {
+		return nil
+	}
+	src := rng.Derive(cfg.Seed, "outages")
+	total := time.Duration(cfg.Days) * 24 * time.Hour
+	target := time.Duration(float64(total) * cfg.OutageFraction)
+	mean := cfg.OutageMeanLen
+	if mean <= 0 {
+		mean = 3 * time.Hour
+	}
+	var out []ddc.Outage
+	var acc time.Duration
+	for acc < target {
+		length := time.Duration(src.Exponential(float64(mean)))
+		if length < cfg.Period {
+			length = cfg.Period
+		}
+		if acc+length > target {
+			length = target - acc
+			if length < cfg.Period {
+				break
+			}
+		}
+		startOff := time.Duration(src.Uniform(0, float64(total-length)))
+		out = append(out, ddc.Outage{
+			Start: cfg.Start.Add(startOff),
+			End:   cfg.Start.Add(startOff + length),
+		})
+		acc += length
+	}
+	return out
+}

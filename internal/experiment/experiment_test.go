@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/lab"
+	"winlab/internal/trace"
+)
+
+// shortConfig returns a fast configuration: the full fleet for one week.
+func shortConfig(seed int64) Config {
+	cfg := Default(seed)
+	cfg.Days = 7
+	return cfg
+}
+
+func TestRunProducesCoherentDataset(t *testing.T) {
+	res, err := Run(shortConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Dataset
+	if len(d.Machines) != 169 {
+		t.Errorf("machines = %d", len(d.Machines))
+	}
+	wantIters := 7 * 96
+	if got := len(d.Iterations) + res.Collector.Skipped; got != wantIters {
+		t.Errorf("iterations+skipped = %d, want %d", got, wantIters)
+	}
+	if res.Collector.Skipped == 0 {
+		t.Error("no coordinator outages despite OutageFraction > 0")
+	}
+	if len(d.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if d.Attempts() != len(d.Iterations)*169 {
+		t.Errorf("attempts = %d", d.Attempts())
+	}
+	// Samples reference known machines and lie within the window.
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		if d.MachineByID(s.Machine) == nil {
+			t.Fatalf("sample for unknown machine %q", s.Machine)
+		}
+		if s.Time.Before(d.Start) || !s.Time.Before(d.End.Add(time.Hour)) {
+			t.Fatalf("sample at %v outside window", s.Time)
+		}
+		if s.Uptime < 0 || s.CPUIdle < 0 || s.CPUIdle > s.Uptime+time.Second {
+			t.Fatalf("impossible counters: uptime=%v idle=%v", s.Uptime, s.CPUIdle)
+		}
+		if s.MemLoadPct < 0 || s.MemLoadPct > 100 || s.SwapLoadPct < 0 || s.SwapLoadPct > 100 {
+			t.Fatalf("impossible loads: %d/%d", s.MemLoadPct, s.SwapLoadPct)
+		}
+		if s.FreeDiskGB < 0 || s.FreeDiskGB > s.DiskGB {
+			t.Fatalf("impossible disk: free=%v size=%v", s.FreeDiskGB, s.DiskGB)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(shortConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shortConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Samples) != len(b.Dataset.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Dataset.Samples), len(b.Dataset.Samples))
+	}
+	for i := range a.Dataset.Samples {
+		sa, sb := a.Dataset.Samples[i], b.Dataset.Samples[i]
+		if sa != sb {
+			t.Fatalf("sample %d differs:\n%+v\n%+v", i, sa, sb)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := shortConfig(1)
+	cfg.Days = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero days accepted")
+	}
+	cfg = shortConfig(1)
+	cfg.Period = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestGenerateOutages(t *testing.T) {
+	cfg := Default(1)
+	outs := GenerateOutages(cfg)
+	if len(outs) == 0 {
+		t.Fatal("no outages")
+	}
+	var total time.Duration
+	for _, o := range outs {
+		if !o.End.After(o.Start) {
+			t.Fatalf("bad outage %+v", o)
+		}
+		if o.Start.Before(cfg.Start) || o.End.After(cfg.End()) {
+			t.Fatalf("outage %+v outside experiment", o)
+		}
+		total += o.End.Sub(o.Start)
+	}
+	want := time.Duration(float64(cfg.Days) * 24 * float64(time.Hour) * cfg.OutageFraction)
+	if total < want/2 || total > want*3/2 {
+		t.Errorf("total outage = %v, want ≈%v", total, want)
+	}
+	cfg.OutageFraction = 0
+	if GenerateOutages(cfg) != nil {
+		t.Error("outages generated with zero fraction")
+	}
+}
+
+func TestSamplingRateMatchesGroundTruth(t *testing.T) {
+	// The fraction of answered probes must match the true powered-on
+	// fraction of the fleet (they are the same quantity, measured two
+	// ways).
+	res, err := Run(shortConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := Truth(res)
+	if gt.PowerSessions == 0 || gt.InteractiveSessions == 0 {
+		t.Fatal("empty ground truth")
+	}
+	var truthHours float64
+	for _, m := range res.Fleet.Machines {
+		for _, p := range m.PowerLog {
+			truthHours += p.Duration().Hours()
+		}
+		if m.Powered() {
+			truthHours += res.Config.End().Sub(m.BootTime()).Hours()
+		}
+	}
+	truthFrac := truthHours / (float64(res.Fleet.Size()) * float64(res.Config.Days) * 24)
+	sampleFrac := float64(len(res.Dataset.Samples)) / float64(res.Dataset.Attempts())
+	if diff := truthFrac - sampleFrac; diff < -0.03 || diff > 0.03 {
+		t.Errorf("sampled uptime %.3f vs true %.3f", sampleFrac, truthFrac)
+	}
+}
+
+func TestShorterPeriodDetectsMoreSessions(t *testing.T) {
+	// The paper's core methodological caveat: 15-minute sampling misses
+	// short machine sessions. A 5-minute collector on the *same* fleet
+	// evolution must detect at least as many sessions, and both must stay
+	// at or below ground truth.
+	cfg15 := shortConfig(7)
+	cfg5 := shortConfig(7)
+	cfg5.Period = 5 * time.Minute
+	r15, err := Run(cfg15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Run(cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := Truth(r15)
+	n15 := len(analysis.DetectSessions(r15.Dataset))
+	n5 := len(analysis.DetectSessions(r5.Dataset))
+	if n5 < n15 {
+		t.Errorf("5-minute sampling detected fewer sessions (%d) than 15-minute (%d)", n5, n15)
+	}
+	if n15 > gt.PowerSessions || n5 > gt.PowerSessions {
+		t.Errorf("detected more sessions (%d/%d) than ground truth (%d)", n15, n5, gt.PowerSessions)
+	}
+	if gt.ShortSessions == 0 {
+		t.Error("no sub-period sessions in ground truth; ablation is vacuous")
+	}
+}
+
+func TestTraceRoundTripThroughFile(t *testing.T) {
+	cfg := shortConfig(9)
+	cfg.Days = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.csv"
+	if err := trace.WriteFile(path, res.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analysis must agree on the round-tripped trace.
+	a := analysis.MainResults(res.Dataset, analysis.DefaultForgottenThreshold)
+	b := analysis.MainResults(back, analysis.DefaultForgottenThreshold)
+	if a.Both.Samples != b.Both.Samples {
+		t.Errorf("samples %d vs %d", a.Both.Samples, b.Both.Samples)
+	}
+	if d := a.Both.CPUIdlePct - b.Both.CPUIdlePct; d < -0.01 || d > 0.01 {
+		t.Errorf("cpu idle %v vs %v after round trip", a.Both.CPUIdlePct, b.Both.CPUIdlePct)
+	}
+	if d := a.Both.RAMLoadPct - b.Both.RAMLoadPct; d != 0 {
+		t.Errorf("ram %v vs %v after round trip", a.Both.RAMLoadPct, b.Both.RAMLoadPct)
+	}
+}
+
+func TestCustomFleet(t *testing.T) {
+	cfg := shortConfig(11)
+	cfg.Days = 2
+	cfg.Labs = []lab.Spec{{
+		Name: "X1", Machines: 4, CPUModel: "Test", CPUGHz: 1,
+		RAMMB: 256, DiskGB: 40, IntIndex: 20, FPIndex: 20, BaseImgGB: 10,
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dataset.Machines) != 4 {
+		t.Errorf("machines = %d", len(res.Dataset.Machines))
+	}
+	for i := range res.Dataset.Samples {
+		if res.Dataset.Samples[i].Lab != "X1" {
+			t.Fatal("sample from unknown lab")
+		}
+	}
+}
+
+func TestOutagesLeaveGapsInIterations(t *testing.T) {
+	cfg := shortConfig(13)
+	cfg.Days = 3
+	cfg.OutageFraction = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.Skipped == 0 {
+		t.Fatal("no skipped iterations")
+	}
+	// Iteration records must be strictly increasing with gaps.
+	gaps := 0
+	for i := 1; i < len(res.Dataset.Iterations); i++ {
+		a, b := res.Dataset.Iterations[i-1], res.Dataset.Iterations[i]
+		if b.Iter <= a.Iter {
+			t.Fatal("iteration numbers not increasing")
+		}
+		if b.Iter > a.Iter+1 {
+			gaps++
+		}
+	}
+	if gaps == 0 {
+		t.Error("no gaps in iteration numbering despite outages")
+	}
+}

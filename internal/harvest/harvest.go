@@ -1,0 +1,173 @@
+// Package harvest implements the desktop-grid scenario the paper motivates
+// (§5.4, §6): a bag-of-tasks master that scavenges the idle CPU recorded in
+// a monitoring trace, with checkpointing to survive the fleet's volatility.
+//
+// The simulator replays a trace.Dataset: between two consecutive samples of
+// the same boot, a machine contributes idleness × NBench-index compute; a
+// reboot or disappearance evicts the running task, which restarts from its
+// last checkpoint. The resulting effective cluster-equivalence ratio can be
+// compared with the idleness-derived upper bound of analysis.Equivalence —
+// quantifying how much of the "2:1 rule" survives volatility and imperfect
+// checkpointing.
+package harvest
+
+import (
+	"fmt"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+// Policy selects which machines are harvested.
+type Policy int
+
+// Policies.
+const (
+	// FreeOnly harvests only machines without an interactive session;
+	// occupied intervals suspend the task without losing progress.
+	FreeOnly Policy = iota
+	// All harvests every powered machine, occupied or not (the paper notes
+	// that even occupied machines are ~94% idle).
+	All
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FreeOnly:
+		return "free-only"
+	case All:
+		return "all-machines"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures a harvest run.
+type Config struct {
+	// TaskWork is the work per task in index-hours: one hour of a machine
+	// with combined NBench index 1.0, fully idle.
+	TaskWork float64
+	// Checkpoint is the wall-time interval between checkpoints; zero
+	// disables checkpointing (evictions restart tasks from scratch).
+	Checkpoint time.Duration
+	Policy     Policy
+}
+
+// Result summarises a harvest run.
+type Result struct {
+	Config         Config
+	CompletedTasks int
+	HarvestedWork  float64 // index-hours of useful, committed work
+	LostWork       float64 // index-hours discarded by evictions
+	Evictions      int
+	// Equivalence is the effective cluster-equivalence ratio:
+	// HarvestedWork / (fleet index × experiment duration).
+	Equivalence float64
+	// UpperBound is the same ratio counting lost work as useful — the
+	// idleness-derived ceiling the paper's Figure 6 reports.
+	UpperBound float64
+}
+
+// machineState tracks one machine's task between slices.
+type machineState struct {
+	progress     float64 // index-hours into the current task
+	checkpointed float64
+	lastCkpt     time.Time
+}
+
+// Run replays the trace under the given configuration.
+func Run(d *trace.Dataset, cfg Config) (Result, error) {
+	if cfg.TaskWork <= 0 {
+		return Result{}, fmt.Errorf("harvest: non-positive task work %v", cfg.TaskWork)
+	}
+	perf := make(map[string]float64, len(d.Machines))
+	var fleetIndex float64
+	for _, m := range d.Machines {
+		perf[m.ID] = m.PerfIndex()
+		fleetIndex += m.PerfIndex()
+	}
+	res := Result{Config: cfg}
+	maxGap := 2 * d.Period
+
+	for id, ss := range d.ByMachine() {
+		p := perf[id]
+		if p == 0 || len(ss) == 0 {
+			continue
+		}
+		st := machineState{lastCkpt: ss[0].Time}
+		var prev *trace.Sample
+		for _, s := range ss {
+			if prev != nil {
+				gap := s.Time.Sub(prev.Time)
+				switch {
+				case trace.SameBoot(prev, s) && gap <= maxGap:
+					iv := trace.Interval{A: prev, B: s}
+					res.harvestSlice(&st, iv, p, cfg)
+				default:
+					// Reboot or disappearance: the running task is evicted.
+					res.evict(&st)
+					st.lastCkpt = s.Time
+				}
+			}
+			prev = s
+		}
+		// Work in flight at the end of the experiment is neither committed
+		// nor lost; count its checkpointed part as harvested.
+		res.HarvestedWork += st.checkpointed
+	}
+
+	hours := d.End.Sub(d.Start).Hours()
+	if fleetIndex > 0 && hours > 0 {
+		res.Equivalence = res.HarvestedWork / (fleetIndex * hours)
+		res.UpperBound = (res.HarvestedWork + res.LostWork) / (fleetIndex * hours)
+	}
+	return res, nil
+}
+
+// harvestSlice advances one machine's task across one sample interval.
+func (r *Result) harvestSlice(st *machineState, iv trace.Interval, perfIdx float64, cfg Config) {
+	if cfg.Policy == FreeOnly && iv.B.HasSession() {
+		// Occupied: task suspended, no progress, no loss.
+		return
+	}
+	dt := iv.Duration().Hours()
+	st.progress += iv.CPUIdlePct() / 100 * perfIdx * dt
+
+	// Complete as many tasks as fit.
+	for st.progress >= cfg.TaskWork {
+		st.progress -= cfg.TaskWork
+		st.checkpointed = 0
+		r.CompletedTasks++
+		r.HarvestedWork += cfg.TaskWork
+		st.lastCkpt = iv.B.Time
+	}
+	// Periodic checkpoint at sample granularity.
+	if cfg.Checkpoint > 0 && iv.B.Time.Sub(st.lastCkpt) >= cfg.Checkpoint {
+		st.checkpointed = st.progress
+		st.lastCkpt = iv.B.Time
+	}
+}
+
+// evict rolls the task back to its last checkpoint.
+func (r *Result) evict(st *machineState) {
+	if lost := st.progress - st.checkpointed; lost > 0 {
+		r.LostWork += lost
+		r.Evictions++
+	}
+	st.progress = st.checkpointed
+}
+
+// SweepCheckpoint runs the harvest at several checkpoint intervals,
+// reporting the sensitivity of yield to checkpoint frequency (the
+// "survival techniques" the paper's conclusion calls for).
+func SweepCheckpoint(d *trace.Dataset, taskWork float64, policy Policy, intervals []time.Duration) ([]Result, error) {
+	out := make([]Result, 0, len(intervals))
+	for _, ci := range intervals {
+		r, err := Run(d, Config{TaskWork: taskWork, Checkpoint: ci, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

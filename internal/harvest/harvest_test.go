@@ -1,0 +1,165 @@
+package harvest
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+var t0 = time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC)
+
+// fixture builds a one-day, one-machine dataset: the machine is up and
+// fully idle for the whole day with samples every 15 minutes, optionally
+// rebooting at a given iteration.
+func fixture(rebootAt int, user string) *trace.Dataset {
+	d := &trace.Dataset{
+		Start: t0, End: t0.AddDate(0, 0, 1), Period: 15 * time.Minute,
+		Machines: []trace.MachineInfo{{ID: "M1", Lab: "L", IntIndex: 10, FPIndex: 10}},
+	}
+	boot := t0
+	for i := 1; i <= 96; i++ {
+		if rebootAt > 0 && i == rebootAt {
+			boot = t0.Add(time.Duration(i)*15*time.Minute - time.Minute)
+		}
+		at := t0.Add(time.Duration(i) * 15 * time.Minute)
+		up := at.Sub(boot)
+		s := trace.Sample{
+			Iter: i, Time: at, Machine: "M1", Lab: "L",
+			BootTime: boot, Uptime: up, CPUIdle: up,
+		}
+		if user != "" {
+			s.SessionUser = user
+			s.SessionStart = boot
+		}
+		d.Samples = append(d.Samples, s)
+		d.Iterations = append(d.Iterations, trace.Iteration{Iter: i, Start: at, Attempted: 1, Responded: 1})
+	}
+	return d
+}
+
+func TestFullIdleDayYield(t *testing.T) {
+	d := fixture(0, "")
+	// Task = 10 index-hours on a perf-10 machine = 1 wall hour. The 95
+	// sampled intervals cover 23.75 h → 23 complete tasks.
+	r, err := Run(d, Config{TaskWork: 10, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompletedTasks != 23 {
+		t.Errorf("tasks = %d, want 23", r.CompletedTasks)
+	}
+	if r.Evictions != 0 || r.LostWork != 0 {
+		t.Errorf("evictions = %d, lost = %v on a stable machine", r.Evictions, r.LostWork)
+	}
+	// Equivalence ≈ 230 idx-h / (10 × 24 h) ≈ 0.958.
+	if r.Equivalence < 0.93 || r.Equivalence > 1 {
+		t.Errorf("equivalence = %v", r.Equivalence)
+	}
+}
+
+func TestEvictionLosesUncheckpointedWork(t *testing.T) {
+	clean := fixture(0, "")
+	rebooted := fixture(48, "")
+	a, err := Run(clean, Config{TaskWork: 1000, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rebooted, Config{TaskWork: 1000, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The huge task never finishes either way, but the reboot discards the
+	// first half-day of progress.
+	if a.LostWork != 0 {
+		t.Errorf("clean run lost %v", a.LostWork)
+	}
+	if b.Evictions != 1 || b.LostWork <= 0 {
+		t.Errorf("rebooted run: evictions=%d lost=%v", b.Evictions, b.LostWork)
+	}
+	if b.UpperBound <= b.Equivalence {
+		t.Errorf("upper bound %v not above equivalence %v", b.UpperBound, b.Equivalence)
+	}
+}
+
+func TestCheckpointingSavesWork(t *testing.T) {
+	d := fixture(48, "")
+	without, err := Run(d, Config{TaskWork: 1000, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(d, Config{TaskWork: 1000, Checkpoint: time.Hour, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.LostWork >= without.LostWork {
+		t.Errorf("checkpointing did not reduce loss: %v vs %v", with.LostWork, without.LostWork)
+	}
+	if with.HarvestedWork <= without.HarvestedWork {
+		t.Errorf("checkpointing did not increase committed work: %v vs %v",
+			with.HarvestedWork, without.HarvestedWork)
+	}
+}
+
+func TestFreeOnlySuspendsOnOccupied(t *testing.T) {
+	occupied := fixture(0, "student")
+	free, err := Run(occupied, Config{TaskWork: 10, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.CompletedTasks != 0 || free.HarvestedWork != 0 {
+		t.Errorf("FreeOnly harvested an occupied machine: %+v", free)
+	}
+	all, err := Run(occupied, Config{TaskWork: 10, Policy: All})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.CompletedTasks == 0 {
+		t.Error("All policy harvested nothing")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(fixture(0, ""), Config{TaskWork: 0}); err == nil {
+		t.Error("zero task work accepted")
+	}
+	if _, err := Run(fixture(0, ""), Config{TaskWork: -5}); err == nil {
+		t.Error("negative task work accepted")
+	}
+}
+
+func TestSweepCheckpoint(t *testing.T) {
+	d := fixture(48, "")
+	rs, err := SweepCheckpoint(d, 1000, FreeOnly, []time.Duration{0, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Config.Checkpoint != 0 || rs[1].Config.Checkpoint != time.Hour {
+		t.Error("sweep configs wrong")
+	}
+	if rs[1].LostWork >= rs[0].LostWork {
+		t.Error("sweep did not show checkpointing benefit")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FreeOnly.String() == "" || All.String() == "" || Policy(9).String() == "" {
+		t.Error("empty policy names")
+	}
+}
+
+func TestMultiMachineAggregation(t *testing.T) {
+	d := fixture(0, "")
+	// Add a second, powered-off machine (no samples): halves equivalence.
+	d.Machines = append(d.Machines, trace.MachineInfo{ID: "M2", Lab: "L", IntIndex: 10, FPIndex: 10})
+	r, err := Run(d, Config{TaskWork: 10, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Equivalence < 0.45 || r.Equivalence > 0.5 {
+		t.Errorf("two-machine equivalence = %v, want ≈0.48", r.Equivalence)
+	}
+}

@@ -1,0 +1,235 @@
+package harvest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+// This file implements the master/worker view of harvesting: a finite bag
+// of tasks dispatched by a master to whatever machines the trace shows as
+// harvestable, with optional task replication — the paper's §6 lists
+// "checkpointing, oversubscription and multiple executions" as the
+// survival techniques volatile classroom fleets require. Replication
+// trades wasted duplicate work for a shorter and more predictable makespan
+// (a straggler or eviction no longer stalls the bag).
+
+// QueueConfig configures a bag-of-tasks run.
+type QueueConfig struct {
+	Tasks      int     // bag size
+	TaskWork   float64 // index-hours per task
+	Checkpoint time.Duration
+	Policy     Policy
+	// Replication is the number of copies of each task scheduled on
+	// distinct machines (1 = no replication). The first copy to finish
+	// completes the task; the progress of the others is counted as waste.
+	Replication int
+	// MachineFilter, when non-nil, restricts harvesting to machines it
+	// accepts — e.g. a predictor.StableSet of machines likely to survive
+	// (placement-aware scheduling). Filtered-out machines contribute
+	// nothing, neither work nor evictions.
+	MachineFilter func(id string) bool
+}
+
+// QueueResult summarises a bag-of-tasks run.
+type QueueResult struct {
+	Config         QueueConfig
+	CompletedTasks int
+	// Makespan is the time from trace start until the last task completed;
+	// Drained reports whether the bag finished within the trace.
+	Makespan time.Duration
+	Drained  bool
+
+	UsefulWork float64 // index-hours committed in completed tasks
+	WastedWork float64 // duplicate-replica index-hours
+	LostWork   float64 // eviction-rollback index-hours
+	Evictions  int
+}
+
+// queueTask tracks one task of the bag.
+type queueTask struct {
+	id       int
+	replicas int // replicas currently assigned
+	done     bool
+}
+
+// queueReplica is a copy of a task running on one machine.
+type queueReplica struct {
+	task         *queueTask
+	progress     float64
+	checkpointed float64
+	lastCkpt     time.Time
+}
+
+// timedInterval orders all trace intervals globally.
+type timedInterval struct {
+	iv   trace.Interval
+	perf float64
+}
+
+// RunQueue replays the trace as a master/worker bag-of-tasks system.
+func RunQueue(d *trace.Dataset, cfg QueueConfig) (QueueResult, error) {
+	if cfg.Tasks <= 0 || cfg.TaskWork <= 0 {
+		return QueueResult{}, fmt.Errorf("harvest: bag needs positive Tasks and TaskWork")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	perf := make(map[string]float64, len(d.Machines))
+	for _, m := range d.Machines {
+		perf[m.ID] = m.PerfIndex()
+	}
+
+	// Global time-ordered interval stream, with reboot markers: a change of
+	// boot (or a long gap) evicts whatever the machine was running.
+	var stream []timedInterval
+	evictAt := map[string][]time.Time{}
+	maxGap := 2 * d.Period
+	for id, ss := range d.ByMachine() {
+		p := perf[id]
+		if p == 0 {
+			continue
+		}
+		if cfg.MachineFilter != nil && !cfg.MachineFilter(id) {
+			continue
+		}
+		for i := 1; i < len(ss); i++ {
+			a, b := ss[i-1], ss[i]
+			if trace.SameBoot(a, b) && b.Time.Sub(a.Time) <= maxGap {
+				stream = append(stream, timedInterval{iv: trace.Interval{A: a, B: b}, perf: p})
+			} else {
+				evictAt[id] = append(evictAt[id], b.Time)
+			}
+		}
+	}
+	sort.Slice(stream, func(i, j int) bool {
+		a, b := stream[i].iv.B, stream[j].iv.B
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.Machine < b.Machine // deterministic tie-break
+	})
+
+	tasks := make([]*queueTask, cfg.Tasks)
+	for i := range tasks {
+		tasks[i] = &queueTask{id: i}
+	}
+	nextTask := 0 // index of the first never-assigned task
+	running := map[string]*queueReplica{}
+	res := QueueResult{Config: cfg}
+
+	// nextAssignment picks the task for an idle machine: first fill fresh
+	// tasks, then add replicas to the least-replicated unfinished task.
+	nextAssignment := func() *queueTask {
+		for nextTask < len(tasks) && tasks[nextTask].done {
+			nextTask++
+		}
+		if nextTask < len(tasks) && tasks[nextTask].replicas == 0 {
+			t := tasks[nextTask]
+			nextTask++
+			return t
+		}
+		var best *queueTask
+		for _, t := range tasks {
+			if t.done || t.replicas >= cfg.Replication {
+				continue
+			}
+			if best == nil || t.replicas < best.replicas {
+				best = t
+			}
+		}
+		return best
+	}
+
+	evict := func(id string) {
+		r := running[id]
+		if r == nil {
+			return
+		}
+		if lost := r.progress - r.checkpointed; lost > 0 {
+			res.LostWork += lost
+			res.Evictions++
+		}
+		r.progress = r.checkpointed
+	}
+
+	evIdx := map[string]int{}
+	for _, ti := range stream {
+		id := ti.iv.B.Machine
+		at := ti.iv.B.Time
+
+		// Apply any reboot markers that precede this interval.
+		evs := evictAt[id]
+		for evIdx[id] < len(evs) && !evs[evIdx[id]].After(at) {
+			evict(id)
+			evIdx[id]++
+		}
+
+		if cfg.Policy == FreeOnly && ti.iv.B.HasSession() {
+			continue // suspended
+		}
+		r := running[id]
+		if r == nil || r.task.done {
+			if r != nil && r.task.done {
+				// The task finished elsewhere: this replica's progress is waste.
+				res.WastedWork += r.progress
+				r.task.replicas--
+			}
+			t := nextAssignment()
+			if t == nil {
+				delete(running, id)
+				continue
+			}
+			t.replicas++
+			r = &queueReplica{task: t, lastCkpt: at}
+			running[id] = r
+		}
+		r.progress += ti.iv.CPUIdlePct() / 100 * ti.perf * ti.iv.Duration().Hours()
+		if r.progress >= cfg.TaskWork {
+			r.task.done = true
+			res.CompletedTasks++
+			res.UsefulWork += cfg.TaskWork
+			res.WastedWork += r.progress - cfg.TaskWork
+			res.Makespan = at.Sub(d.Start)
+			r.task.replicas--
+			delete(running, id)
+			if res.CompletedTasks == cfg.Tasks {
+				res.Drained = true
+				break
+			}
+			continue
+		}
+		if cfg.Checkpoint > 0 && at.Sub(r.lastCkpt) >= cfg.Checkpoint {
+			r.checkpointed = r.progress
+			r.lastCkpt = at
+		}
+	}
+	if !res.Drained {
+		res.Makespan = d.End.Sub(d.Start)
+	}
+	// Whatever is still running when the bag drains (duplicate replicas of
+	// completed tasks) or when the trace ends (abandoned in-flight work)
+	// is waste either way.
+	for _, r := range running {
+		res.WastedWork += r.progress
+	}
+	return res, nil
+}
+
+// CompareReplication runs the same bag at several replication factors; the
+// interesting trade-off is makespan vs wasted work.
+func CompareReplication(d *trace.Dataset, base QueueConfig, factors []int) ([]QueueResult, error) {
+	out := make([]QueueResult, 0, len(factors))
+	for _, k := range factors {
+		cfg := base
+		cfg.Replication = k
+		r, err := RunQueue(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

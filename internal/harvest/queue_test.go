@@ -1,0 +1,200 @@
+package harvest
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+// multiFixture builds a dataset with n always-on, fully idle machines of
+// perf index 10 sampled every 15 minutes for one day, with optional
+// per-machine reboots.
+func multiFixture(n int, rebootAt map[string]int) *trace.Dataset {
+	d := &trace.Dataset{
+		Start: t0, End: t0.AddDate(0, 0, 1), Period: 15 * time.Minute,
+	}
+	for m := 0; m < n; m++ {
+		id := string(rune('A' + m))
+		d.Machines = append(d.Machines, trace.MachineInfo{ID: id, Lab: "L", IntIndex: 10, FPIndex: 10})
+		boot := t0
+		for i := 1; i <= 96; i++ {
+			if r, ok := rebootAt[id]; ok && i == r {
+				boot = t0.Add(time.Duration(i)*15*time.Minute - time.Minute)
+			}
+			at := t0.Add(time.Duration(i) * 15 * time.Minute)
+			up := at.Sub(boot)
+			d.Samples = append(d.Samples, trace.Sample{
+				Iter: i, Time: at, Machine: id, Lab: "L",
+				BootTime: boot, Uptime: up, CPUIdle: up,
+			})
+		}
+	}
+	for i := 1; i <= 96; i++ {
+		d.Iterations = append(d.Iterations, trace.Iteration{
+			Iter: i, Start: t0.Add(time.Duration(i) * 15 * time.Minute), Attempted: n, Responded: n,
+		})
+	}
+	return d
+}
+
+func TestQueueDrainsBag(t *testing.T) {
+	d := multiFixture(4, nil)
+	// 4 machines × ~23.75 usable hours × 10 index = 950 idx-h capacity.
+	// 40 tasks × 20 idx-h = 800: drains.
+	res, err := RunQueue(d, QueueConfig{Tasks: 40, TaskWork: 20, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained || res.CompletedTasks != 40 {
+		t.Fatalf("not drained: %+v", res)
+	}
+	if res.UsefulWork != 800 {
+		t.Errorf("useful work = %v, want 800", res.UsefulWork)
+	}
+	if res.WastedWork != 0 || res.Evictions != 0 {
+		t.Errorf("waste=%v evictions=%d on stable unreplicated run", res.WastedWork, res.Evictions)
+	}
+	if res.Makespan <= 0 || res.Makespan > 24*time.Hour {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestQueueUndrainedBag(t *testing.T) {
+	d := multiFixture(2, nil)
+	res, err := RunQueue(d, QueueConfig{Tasks: 1000, TaskWork: 20, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drained {
+		t.Fatal("impossible bag drained")
+	}
+	if res.CompletedTasks == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if res.Makespan != 24*time.Hour {
+		t.Errorf("undrained makespan = %v, want full trace", res.Makespan)
+	}
+}
+
+func TestQueueReplicationWastesWork(t *testing.T) {
+	// Fewer tasks than machines, so the spare machine runs a duplicate
+	// replica from the start.
+	d := multiFixture(4, nil)
+	r1, err := RunQueue(d, QueueConfig{Tasks: 3, TaskWork: 30, Policy: FreeOnly, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunQueue(d, QueueConfig{Tasks: 3, TaskWork: 30, Policy: FreeOnly, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WastedWork != 0 {
+		t.Errorf("unreplicated waste = %v", r1.WastedWork)
+	}
+	if r2.WastedWork <= 0 {
+		t.Errorf("replicated run wasted nothing")
+	}
+	if !r1.Drained || !r2.Drained {
+		t.Fatal("bags did not drain")
+	}
+	if r2.CompletedTasks != 3 || r1.CompletedTasks != 3 {
+		t.Errorf("completed %d/%d", r1.CompletedTasks, r2.CompletedTasks)
+	}
+}
+
+func TestQueueReplicationHidesEvictions(t *testing.T) {
+	// Machine A reboots mid-day; with replication 2 the bag still finishes
+	// no later than without, and eviction loss does not delay completion.
+	reboots := map[string]int{"A": 40, "B": 56}
+	d := multiFixture(3, reboots)
+	base := QueueConfig{Tasks: 3, TaskWork: 80, Policy: FreeOnly}
+	rs, err := CompareReplication(d, base, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("missing results")
+	}
+	if rs[1].Drained && rs[0].Drained && rs[1].Makespan > rs[0].Makespan {
+		t.Errorf("replication slowed the bag: %v vs %v", rs[1].Makespan, rs[0].Makespan)
+	}
+}
+
+func TestQueueEvictionRollback(t *testing.T) {
+	d := multiFixture(1, map[string]int{"A": 48})
+	res, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 1000, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 1 || res.LostWork <= 0 {
+		t.Errorf("eviction not accounted: %+v", res)
+	}
+	with, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 1000, Checkpoint: time.Hour, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.LostWork >= res.LostWork {
+		t.Errorf("checkpointing did not reduce queue loss: %v vs %v", with.LostWork, res.LostWork)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	d := multiFixture(1, nil)
+	if _, err := RunQueue(d, QueueConfig{Tasks: 0, TaskWork: 1}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 0}); err == nil {
+		t.Error("zero work accepted")
+	}
+	// Replication below 1 is normalised, not rejected.
+	if r, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 1, Replication: 0}); err != nil || r.Config.Replication != 1 {
+		t.Errorf("replication normalisation: %v %+v", err, r.Config)
+	}
+}
+
+func TestQueueConservation(t *testing.T) {
+	// Useful + wasted + lost work never exceeds the fleet's idleness
+	// capacity over the trace.
+	reboots := map[string]int{"A": 30, "B": 60, "C": 20}
+	d := multiFixture(4, reboots)
+	res, err := RunQueue(d, QueueConfig{Tasks: 60, TaskWork: 11, Policy: FreeOnly, Replication: 2, Checkpoint: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 4.0 * 24 * 10 // 4 machines × 24 h × index 10 (upper bound)
+	total := res.UsefulWork + res.WastedWork + res.LostWork
+	if total > capacity {
+		t.Errorf("work conservation violated: %v > %v", total, capacity)
+	}
+	if res.CompletedTasks > 60 {
+		t.Errorf("completed more tasks than the bag held: %d", res.CompletedTasks)
+	}
+}
+
+func TestQueueMachineFilter(t *testing.T) {
+	d := multiFixture(4, map[string]int{"A": 30, "B": 50})
+	// Harvest only the stable machines C and D.
+	stable := map[string]bool{"C": true, "D": true}
+	res, err := RunQueue(d, QueueConfig{
+		Tasks: 1000, TaskWork: 20, Policy: FreeOnly,
+		MachineFilter: func(id string) bool { return stable[id] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 0 {
+		t.Errorf("filtered run evicted %d times (flaky machines leaked in)", res.Evictions)
+	}
+	all, err := RunQueue(d, QueueConfig{Tasks: 1000, TaskWork: 20, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Evictions == 0 {
+		t.Error("unfiltered run saw no evictions")
+	}
+	if res.CompletedTasks >= all.CompletedTasks {
+		t.Errorf("filtered run completed more (%d) than unfiltered (%d)?",
+			res.CompletedTasks, all.CompletedTasks)
+	}
+}

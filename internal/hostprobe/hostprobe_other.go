@@ -1,0 +1,19 @@
+//go:build !linux
+
+// Package hostprobe implements the probe's metric collection against a
+// real host. Only Linux is supported; other platforms return an error so
+// callers can fall back to the simulated fleet.
+package hostprobe
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"winlab/internal/machine"
+)
+
+// Snapshot is unsupported on this platform.
+func Snapshot(now time.Time) (machine.Snapshot, error) {
+	return machine.Snapshot{}, fmt.Errorf("hostprobe: unsupported platform %s", runtime.GOOS)
+}

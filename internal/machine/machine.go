@@ -1,0 +1,331 @@
+// Package machine models one simulated Windows 2000 classroom computer.
+//
+// A Machine integrates its cumulative counters lazily: the behaviour model
+// mutates the set of running activities (interactive session, class
+// workload, background bursts) at event boundaries, and between mutations
+// the CPU idle time, network byte counters and SMART power-on hours advance
+// linearly. Probing a machine is a pure read: it advances the integrators
+// to the probe time and renders a Snapshot.
+//
+// The model intentionally exposes exactly the observables W32Probe could
+// see through the win32 API — cumulative idle-thread time since boot,
+// dwMemoryLoad-style percentages, per-boot NIC byte counters, SMART
+// attributes 9 and 12 — so the downstream collector and analysis code paths
+// are identical to the paper's.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"winlab/internal/smart"
+)
+
+// Session describes an interactive login session.
+type Session struct {
+	User  string
+	Start time.Time
+	// Forgotten marks a session whose user left without logging out; the
+	// machine keeps the session open but returns to idle resource usage.
+	// This is ground truth the probe does NOT report — the paper had to
+	// infer it from the 10-hour threshold (§4.2).
+	Forgotten bool
+}
+
+// PowerRecord is a ground-truth machine session (boot → shutdown).
+type PowerRecord struct {
+	Start, End time.Time
+}
+
+// Duration returns the length of the power session.
+func (p PowerRecord) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// SessionRecord is a ground-truth interactive session.
+type SessionRecord struct {
+	User       string
+	Start, End time.Time
+	Forgotten  bool
+}
+
+// Machine is a simulated classroom computer.
+type Machine struct {
+	ID  string // e.g. "L01-M07"
+	Lab string // e.g. "L01"
+	HW  Hardware
+
+	Disk *smart.Disk
+
+	powered  bool
+	bootTime time.Time
+	lastAdv  time.Time
+
+	// Cumulative per-boot counters (reset at boot, like their win32
+	// counterparts).
+	idleCPU   time.Duration
+	sentBytes float64
+	recvBytes float64
+
+	// Current activity set and the aggregate rates derived from it.
+	activities map[string]Activity
+	agg        aggregate
+
+	// Baseline state drawn at boot by the behaviour model.
+	osMemMB    float64 // OS + resident services commit
+	osSwapMB   float64
+	baseDiskGB float64 // installed image
+	tempDiskGB float64 // session temp files, cleaned at logout
+
+	session *Session
+
+	// Ground-truth logs for ablations (what sampling misses).
+	PowerLog   []PowerRecord
+	SessionLog []SessionRecord
+}
+
+type aggregate struct {
+	cpu     float64 // busy fraction of one CPU, 0..1
+	sendBps float64
+	recvBps float64
+	memMB   float64
+	swapMB  float64
+	diskGB  float64
+}
+
+// New creates a powered-off machine.
+func New(id, lab string, hw Hardware, disk *smart.Disk) *Machine {
+	if hw.SwapMB == 0 {
+		hw.SwapMB = DefaultSwapMB(hw.RAMMB)
+	}
+	return &Machine{
+		ID:         id,
+		Lab:        lab,
+		HW:         hw,
+		Disk:       disk,
+		activities: make(map[string]Activity),
+	}
+}
+
+// Powered reports whether the machine is currently on.
+func (m *Machine) Powered() bool { return m.powered }
+
+// BootTime returns the time of the current boot; zero when powered off.
+func (m *Machine) BootTime() time.Time {
+	if !m.powered {
+		return time.Time{}
+	}
+	return m.bootTime
+}
+
+// Session returns the current interactive session, or nil.
+func (m *Machine) Session() *Session { return m.session }
+
+// SetBaseline sets the boot-time baseline resource state. It is called by
+// the behaviour model immediately after PowerOn.
+func (m *Machine) SetBaseline(osMemMB, osSwapMB, baseDiskGB float64) {
+	m.advance(m.lastAdv)
+	m.osMemMB = osMemMB
+	m.osSwapMB = osSwapMB
+	m.baseDiskGB = baseDiskGB
+}
+
+// PowerOn boots the machine at time t. Counters that Windows keeps per boot
+// (idle CPU time, NIC byte counters) reset; SMART counters persist.
+func (m *Machine) PowerOn(t time.Time) {
+	if m.powered {
+		panic(fmt.Sprintf("machine %s: PowerOn while on", m.ID))
+	}
+	m.powered = true
+	m.bootTime = t
+	m.lastAdv = t
+	m.idleCPU = 0
+	m.sentBytes = 0
+	m.recvBytes = 0
+	m.tempDiskGB = 0
+	for k := range m.activities {
+		delete(m.activities, k)
+	}
+	m.recompute()
+	m.Disk.PowerOn(t)
+}
+
+// PowerOff shuts the machine down at time t, closing any open interactive
+// session and recording ground truth.
+func (m *Machine) PowerOff(t time.Time) {
+	if !m.powered {
+		panic(fmt.Sprintf("machine %s: PowerOff while off", m.ID))
+	}
+	m.advance(t)
+	if m.session != nil {
+		m.endSession(t)
+	}
+	m.PowerLog = append(m.PowerLog, PowerRecord{Start: m.bootTime, End: t})
+	m.powered = false
+	m.Disk.PowerOff(t)
+}
+
+// Login opens an interactive session at time t. Logging in on an off
+// machine or over an existing session panics: the behaviour model must
+// free the machine first.
+func (m *Machine) Login(t time.Time, user string) {
+	if !m.powered {
+		panic(fmt.Sprintf("machine %s: Login while off", m.ID))
+	}
+	if m.session != nil {
+		panic(fmt.Sprintf("machine %s: Login over open session", m.ID))
+	}
+	m.advance(t)
+	m.session = &Session{User: user, Start: t}
+}
+
+// Logout closes the interactive session at time t.
+func (m *Machine) Logout(t time.Time) {
+	if m.session == nil {
+		panic(fmt.Sprintf("machine %s: Logout without session", m.ID))
+	}
+	m.advance(t)
+	m.endSession(t)
+}
+
+// Forget marks the open session as forgotten: the user walked away without
+// logging out. Resource usage should be restored to idle levels by the
+// behaviour model; the session itself stays visible to the probe.
+func (m *Machine) Forget(t time.Time) {
+	if m.session == nil {
+		panic(fmt.Sprintf("machine %s: Forget without session", m.ID))
+	}
+	m.advance(t)
+	m.session.Forgotten = true
+}
+
+func (m *Machine) endSession(t time.Time) {
+	m.SessionLog = append(m.SessionLog, SessionRecord{
+		User:      m.session.User,
+		Start:     m.session.Start,
+		End:       t,
+		Forgotten: m.session.Forgotten,
+	})
+	m.session = nil
+	m.tempDiskGB = 0 // temp quota cleaned after the session (§5 of the paper)
+}
+
+// SetActivity installs or replaces a named activity at time t.
+func (m *Machine) SetActivity(t time.Time, a Activity) {
+	if !m.powered {
+		panic(fmt.Sprintf("machine %s: SetActivity while off", m.ID))
+	}
+	m.advance(t)
+	m.activities[a.Name] = a
+	m.recompute()
+}
+
+// ClearActivity removes a named activity at time t, if present.
+func (m *Machine) ClearActivity(t time.Time, name string) {
+	if !m.powered {
+		return
+	}
+	m.advance(t)
+	delete(m.activities, name)
+	m.recompute()
+}
+
+// Activities returns the names of the currently installed activities,
+// sorted, for tests and debugging.
+func (m *Machine) Activities() []string {
+	names := make([]string, 0, len(m.activities))
+	for k := range m.activities {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GrowTemp adds gb of session temp files (clamped to the paper's 100–300 MB
+// quota by the behaviour model).
+func (m *Machine) GrowTemp(t time.Time, gb float64) {
+	m.advance(t)
+	m.tempDiskGB += gb
+	if m.tempDiskGB < 0 {
+		m.tempDiskGB = 0
+	}
+}
+
+// advance integrates cumulative counters up to time t at the current rates.
+func (m *Machine) advance(t time.Time) {
+	if !m.powered {
+		return
+	}
+	dt := t.Sub(m.lastAdv)
+	if dt < 0 {
+		panic(fmt.Sprintf("machine %s: time went backwards %s -> %s", m.ID, m.lastAdv, t))
+	}
+	if dt == 0 {
+		return
+	}
+	idleFrac := 1 - m.agg.cpu
+	if idleFrac < 0 {
+		idleFrac = 0
+	}
+	m.idleCPU += time.Duration(float64(dt) * idleFrac)
+	m.sentBytes += m.agg.sendBps / 8 * dt.Seconds()
+	m.recvBytes += m.agg.recvBps / 8 * dt.Seconds()
+	m.lastAdv = t
+}
+
+// recompute refreshes the aggregate rates from the activity set.
+func (m *Machine) recompute() {
+	var a aggregate
+	for _, act := range m.activities {
+		a.cpu += act.CPU
+		a.sendBps += act.SendBps
+		a.recvBps += act.RecvBps
+		a.memMB += act.MemMB
+		a.swapMB += act.SwapMB
+		a.diskGB += act.DiskGB
+	}
+	if a.cpu > 1 {
+		a.cpu = 1
+	}
+	m.agg = a
+}
+
+// MemLoadPct returns the dwMemoryLoad-style main memory load percentage.
+func (m *Machine) MemLoadPct() float64 {
+	used := m.osMemMB + m.agg.memMB
+	pct := 100 * used / float64(m.HW.RAMMB)
+	return clampPct(pct)
+}
+
+// SwapLoadPct returns the swap area load percentage.
+func (m *Machine) SwapLoadPct() float64 {
+	used := m.osSwapMB + m.agg.swapMB
+	// Memory pressure spills into swap: commit beyond physical RAM lands in
+	// the pagefile, which is what makes the 128 MB machines page heavily.
+	if over := m.osMemMB + m.agg.memMB - float64(m.HW.RAMMB); over > 0 {
+		used += over
+	}
+	pct := 100 * used / float64(m.HW.SwapMB)
+	return clampPct(pct)
+}
+
+// UsedDiskGB returns the occupied disk space.
+func (m *Machine) UsedDiskGB() float64 {
+	used := m.baseDiskGB + m.tempDiskGB + m.agg.diskGB
+	if used > m.HW.DiskGB {
+		used = m.HW.DiskGB
+	}
+	return used
+}
+
+// CPUBusy returns the instantaneous busy fraction (for tests).
+func (m *Machine) CPUBusy() float64 { return m.agg.cpu }
+
+func clampPct(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}

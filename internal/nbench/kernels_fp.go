@@ -1,0 +1,383 @@
+package nbench
+
+import (
+	"fmt"
+	"math"
+
+	"winlab/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Fourier: compute Fourier series coefficients of (x+1)^x over [0,2] by
+// trapezoidal numerical integration, as in BYTEmark.
+
+// Fourier computes Fourier coefficients by numerical integration.
+type Fourier struct {
+	coeffs int
+	abase  []float64
+	bbase  []float64
+}
+
+// Name implements Kernel.
+func (*Fourier) Name() string { return "fourier" }
+
+// Class implements Kernel.
+func (*Fourier) Class() Class { return FP }
+
+// Setup implements Kernel.
+func (k *Fourier) Setup(src *rng.Source) {
+	k.coeffs = 32
+	k.abase = make([]float64, k.coeffs)
+	k.bbase = make([]float64, k.coeffs)
+}
+
+func fourierFunc(x float64, n int, cosine bool) float64 {
+	f := math.Pow(x+1, x)
+	if n == 0 {
+		return f
+	}
+	omega := 2 * math.Pi / 2 // fundamental frequency over period 2
+	if cosine {
+		return f * math.Cos(float64(n)*omega*x)
+	}
+	return f * math.Sin(float64(n)*omega*x)
+}
+
+func trapezoid(n int, cosine bool, steps int) float64 {
+	const lo, hi = 0.0, 2.0
+	dx := (hi - lo) / float64(steps)
+	sum := (fourierFunc(lo, n, cosine) + fourierFunc(hi, n, cosine)) / 2
+	for i := 1; i < steps; i++ {
+		sum += fourierFunc(lo+float64(i)*dx, n, cosine)
+	}
+	return sum * dx
+}
+
+// Iterate implements Kernel.
+func (k *Fourier) Iterate() uint64 {
+	const steps = 100
+	k.abase[0] = trapezoid(0, true, steps) / 2
+	k.bbase[0] = 0
+	for n := 1; n < k.coeffs; n++ {
+		k.abase[n] = trapezoid(n, true, steps)
+		k.bbase[n] = trapezoid(n, false, steps)
+	}
+	return math.Float64bits(k.abase[1]) ^ math.Float64bits(k.bbase[1])
+}
+
+// Verify implements Kernel.
+func (k *Fourier) Verify() error {
+	k.Iterate()
+	// a0 is half the integral of (x+1)^x over [0,2], which is ≈ 5.76.
+	if k.abase[0] < 2.7 || k.abase[0] > 3.0 {
+		return fmt.Errorf("a0 = %g out of expected range", k.abase[0])
+	}
+	// Coefficients must decay.
+	if math.Abs(k.abase[k.coeffs-1]) > math.Abs(k.abase[1]) {
+		return fmt.Errorf("fourier coefficients do not decay")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Neural net: a small fully-connected back-propagation network learning a
+// fixed input→output mapping, as in BYTEmark's neural net kernel.
+
+// NeuralNet trains a two-layer perceptron with back-propagation.
+type NeuralNet struct {
+	in, hid, out int
+	inputs       [][]float64
+	targets      [][]float64
+	w1, w2       [][]float64
+	w1init       [][]float64
+	w2init       [][]float64
+	hidAct       []float64
+	outAct       []float64
+	hidErr       []float64
+	outErr       []float64
+}
+
+// Name implements Kernel.
+func (*NeuralNet) Name() string { return "neural-net" }
+
+// Class implements Kernel.
+func (*NeuralNet) Class() Class { return FP }
+
+// Setup implements Kernel.
+func (k *NeuralNet) Setup(src *rng.Source) {
+	k.in, k.hid, k.out = 26, 8, 8
+	const patterns = 16
+	k.inputs = make([][]float64, patterns)
+	k.targets = make([][]float64, patterns)
+	for p := range k.inputs {
+		k.inputs[p] = make([]float64, k.in)
+		for i := range k.inputs[p] {
+			if src.Bool(0.3) {
+				k.inputs[p][i] = 1
+			}
+		}
+		k.targets[p] = make([]float64, k.out)
+		k.targets[p][p%k.out] = 1
+	}
+	mk := func(r, c int) [][]float64 {
+		w := make([][]float64, r)
+		for i := range w {
+			w[i] = make([]float64, c)
+			for j := range w[i] {
+				w[i][j] = src.Uniform(-0.25, 0.25)
+			}
+		}
+		return w
+	}
+	k.w1init = mk(k.hid, k.in)
+	k.w2init = mk(k.out, k.hid)
+	k.w1 = mk(k.hid, k.in)
+	k.w2 = mk(k.out, k.hid)
+	k.hidAct = make([]float64, k.hid)
+	k.outAct = make([]float64, k.out)
+	k.hidErr = make([]float64, k.hid)
+	k.outErr = make([]float64, k.out)
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (k *NeuralNet) forward(input []float64) {
+	for h := 0; h < k.hid; h++ {
+		sum := 0.0
+		for i := 0; i < k.in; i++ {
+			sum += k.w1[h][i] * input[i]
+		}
+		k.hidAct[h] = sigmoid(sum)
+	}
+	for o := 0; o < k.out; o++ {
+		sum := 0.0
+		for h := 0; h < k.hid; h++ {
+			sum += k.w2[o][h] * k.hidAct[h]
+		}
+		k.outAct[o] = sigmoid(sum)
+	}
+}
+
+// trainEpoch runs one back-propagation pass over all patterns and returns
+// the summed squared error.
+func (k *NeuralNet) trainEpoch(rate float64) float64 {
+	var sse float64
+	for p := range k.inputs {
+		input, target := k.inputs[p], k.targets[p]
+		k.forward(input)
+		for o := 0; o < k.out; o++ {
+			e := target[o] - k.outAct[o]
+			sse += e * e
+			k.outErr[o] = e * k.outAct[o] * (1 - k.outAct[o])
+		}
+		for h := 0; h < k.hid; h++ {
+			sum := 0.0
+			for o := 0; o < k.out; o++ {
+				sum += k.outErr[o] * k.w2[o][h]
+			}
+			k.hidErr[h] = sum * k.hidAct[h] * (1 - k.hidAct[h])
+		}
+		for o := 0; o < k.out; o++ {
+			for h := 0; h < k.hid; h++ {
+				k.w2[o][h] += rate * k.outErr[o] * k.hidAct[h]
+			}
+		}
+		for h := 0; h < k.hid; h++ {
+			for i := 0; i < k.in; i++ {
+				k.w1[h][i] += rate * k.hidErr[h] * input[i]
+			}
+		}
+	}
+	return sse
+}
+
+// Iterate implements Kernel.
+func (k *NeuralNet) Iterate() uint64 {
+	for i := range k.w1 {
+		copy(k.w1[i], k.w1init[i])
+	}
+	for i := range k.w2 {
+		copy(k.w2[i], k.w2init[i])
+	}
+	var sse float64
+	for epoch := 0; epoch < 20; epoch++ {
+		sse = k.trainEpoch(0.5)
+	}
+	return math.Float64bits(sse)
+}
+
+// Verify implements Kernel.
+func (k *NeuralNet) Verify() error {
+	for i := range k.w1 {
+		copy(k.w1[i], k.w1init[i])
+	}
+	for i := range k.w2 {
+		copy(k.w2[i], k.w2init[i])
+	}
+	first := k.trainEpoch(0.5)
+	var last float64
+	for epoch := 0; epoch < 200; epoch++ {
+		last = k.trainEpoch(0.5)
+	}
+	if last >= first {
+		return fmt.Errorf("training error did not decrease: %g -> %g", first, last)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// LU decomposition: solve dense linear systems via Crout LU with partial
+// pivoting, as in BYTEmark's linear algebra kernel.
+
+// LUDecomposition solves Ax=b systems by LU factorisation.
+type LUDecomposition struct {
+	n    int
+	a    [][]float64
+	b    []float64
+	lu   [][]float64
+	x    []float64
+	perm []int
+	vv   []float64
+}
+
+// Name implements Kernel.
+func (*LUDecomposition) Name() string { return "lu-decomposition" }
+
+// Class implements Kernel.
+func (*LUDecomposition) Class() Class { return FP }
+
+// Setup implements Kernel.
+func (k *LUDecomposition) Setup(src *rng.Source) {
+	k.n = 48
+	k.a = make([][]float64, k.n)
+	k.lu = make([][]float64, k.n)
+	for i := range k.a {
+		k.a[i] = make([]float64, k.n)
+		k.lu[i] = make([]float64, k.n)
+		for j := range k.a[i] {
+			k.a[i][j] = src.Uniform(-1, 1)
+		}
+		k.a[i][i] += float64(k.n) // diagonally dominant: well conditioned
+	}
+	k.b = make([]float64, k.n)
+	for i := range k.b {
+		k.b[i] = src.Uniform(-10, 10)
+	}
+	k.x = make([]float64, k.n)
+	k.perm = make([]int, k.n)
+	k.vv = make([]float64, k.n)
+}
+
+// decompose factors the matrix currently in k.lu in place, recording the
+// row permutation. It returns false for a singular matrix.
+func (k *LUDecomposition) decompose() bool {
+	n := k.n
+	for i := 0; i < n; i++ {
+		big := 0.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(k.lu[i][j]); v > big {
+				big = v
+			}
+		}
+		if big == 0 {
+			return false
+		}
+		k.vv[i] = 1 / big
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			sum := k.lu[i][j]
+			for m := 0; m < i; m++ {
+				sum -= k.lu[i][m] * k.lu[m][j]
+			}
+			k.lu[i][j] = sum
+		}
+		big, imax := 0.0, j
+		for i := j; i < n; i++ {
+			sum := k.lu[i][j]
+			for m := 0; m < j; m++ {
+				sum -= k.lu[i][m] * k.lu[m][j]
+			}
+			k.lu[i][j] = sum
+			if v := k.vv[i] * math.Abs(sum); v >= big {
+				big, imax = v, i
+			}
+		}
+		if j != imax {
+			k.lu[j], k.lu[imax] = k.lu[imax], k.lu[j]
+			k.vv[imax] = k.vv[j]
+		}
+		k.perm[j] = imax
+		if k.lu[j][j] == 0 {
+			return false
+		}
+		if j != n-1 {
+			d := 1 / k.lu[j][j]
+			for i := j + 1; i < n; i++ {
+				k.lu[i][j] *= d
+			}
+		}
+	}
+	return true
+}
+
+// solve back-substitutes b through the factorisation into k.x.
+func (k *LUDecomposition) solve() {
+	n := k.n
+	copy(k.x, k.b)
+	ii := -1
+	for i := 0; i < n; i++ {
+		ip := k.perm[i]
+		sum := k.x[ip]
+		k.x[ip] = k.x[i]
+		if ii >= 0 {
+			for j := ii; j < i; j++ {
+				sum -= k.lu[i][j] * k.x[j]
+			}
+		} else if sum != 0 {
+			ii = i
+		}
+		k.x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := k.x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= k.lu[i][j] * k.x[j]
+		}
+		k.x[i] = sum / k.lu[i][i]
+	}
+}
+
+// Iterate implements Kernel.
+func (k *LUDecomposition) Iterate() uint64 {
+	for i := range k.a {
+		copy(k.lu[i], k.a[i])
+	}
+	if !k.decompose() {
+		return 0
+	}
+	k.solve()
+	return math.Float64bits(k.x[0])
+}
+
+// Verify implements Kernel.
+func (k *LUDecomposition) Verify() error {
+	if k.Iterate() == 0 {
+		return fmt.Errorf("matrix reported singular")
+	}
+	// Check residual ‖Ax−b‖∞.
+	worst := 0.0
+	for i := 0; i < k.n; i++ {
+		sum := 0.0
+		for j := 0; j < k.n; j++ {
+			sum += k.a[i][j] * k.x[j]
+		}
+		if v := math.Abs(sum - k.b[i]); v > worst {
+			worst = v
+		}
+	}
+	if worst > 1e-8 {
+		return fmt.Errorf("residual %g too large", worst)
+	}
+	return nil
+}

@@ -1,0 +1,799 @@
+package nbench
+
+import (
+	"bytes"
+	"fmt"
+
+	"winlab/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Numeric sort: heap sort over int32 arrays, like BYTEmark's numeric sort.
+
+// NumericSort heap-sorts a fixed set of pseudo-random int32 arrays.
+type NumericSort struct {
+	src  []int32
+	work []int32
+}
+
+// Name implements Kernel.
+func (*NumericSort) Name() string { return "numeric-sort" }
+
+// Class implements Kernel.
+func (*NumericSort) Class() Class { return Integer }
+
+// Setup implements Kernel.
+func (k *NumericSort) Setup(src *rng.Source) {
+	const n = 2048
+	k.src = make([]int32, n)
+	for i := range k.src {
+		k.src[i] = int32(src.Int63() >> 32)
+	}
+	k.work = make([]int32, n)
+}
+
+// Iterate implements Kernel.
+func (k *NumericSort) Iterate() uint64 {
+	copy(k.work, k.src)
+	heapSort(k.work)
+	return uint64(uint32(k.work[0])) ^ uint64(uint32(k.work[len(k.work)-1]))<<32
+}
+
+// Verify implements Kernel.
+func (k *NumericSort) Verify() error {
+	k.Iterate()
+	return sortedCheck(k.work)
+}
+
+func heapSort(a []int32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []int32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// ---------------------------------------------------------------------------
+// String sort: merge sort over byte-string slices.
+
+// StringSort merge-sorts a fixed set of pseudo-random byte strings.
+type StringSort struct {
+	src  [][]byte
+	work [][]byte
+	buf  [][]byte
+}
+
+// Name implements Kernel.
+func (*StringSort) Name() string { return "string-sort" }
+
+// Class implements Kernel.
+func (*StringSort) Class() Class { return Memory }
+
+// Setup implements Kernel.
+func (k *StringSort) Setup(src *rng.Source) {
+	const n = 1024
+	k.src = make([][]byte, n)
+	for i := range k.src {
+		l := 4 + src.Intn(28)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = byte('a' + src.Intn(26))
+		}
+		k.src[i] = b
+	}
+	k.work = make([][]byte, n)
+	k.buf = make([][]byte, n)
+}
+
+// Iterate implements Kernel.
+func (k *StringSort) Iterate() uint64 {
+	copy(k.work, k.src)
+	mergeSortBytes(k.work, k.buf)
+	return uint64(len(k.work[0])) ^ uint64(k.work[len(k.work)-1][0])<<8
+}
+
+// Verify implements Kernel.
+func (k *StringSort) Verify() error {
+	k.Iterate()
+	for i := 1; i < len(k.work); i++ {
+		if bytes.Compare(k.work[i-1], k.work[i]) > 0 {
+			return fmt.Errorf("strings not sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+func mergeSortBytes(a, buf [][]byte) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			mergeBytes(a[lo:mid], a[mid:hi], buf[lo:hi])
+		}
+		copy(a, buf[:n])
+	}
+}
+
+func mergeBytes(l, r, out [][]byte) {
+	i, j, o := 0, 0, 0
+	for i < len(l) && j < len(r) {
+		if bytes.Compare(l[i], r[j]) <= 0 {
+			out[o] = l[i]
+			i++
+		} else {
+			out[o] = r[j]
+			j++
+		}
+		o++
+	}
+	o += copy(out[o:], l[i:])
+	copy(out[o:], r[j:])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Bitfield: set/clear/complement runs of bits in a bitmap.
+
+// Bitfield exercises bit manipulation over a fixed operation sequence.
+type Bitfield struct {
+	bits []uint64
+	ops  []bitOp
+}
+
+type bitOp struct {
+	kind  uint8 // 0 set, 1 clear, 2 complement
+	start uint32
+	len   uint32
+}
+
+// Name implements Kernel.
+func (*Bitfield) Name() string { return "bitfield" }
+
+// Class implements Kernel.
+func (*Bitfield) Class() Class { return Memory }
+
+// Setup implements Kernel.
+func (k *Bitfield) Setup(src *rng.Source) {
+	const words = 2048 // 131072 bits
+	k.bits = make([]uint64, words)
+	k.ops = make([]bitOp, 512)
+	for i := range k.ops {
+		k.ops[i] = bitOp{
+			kind:  uint8(src.Intn(3)),
+			start: uint32(src.Intn(words * 64)),
+			len:   uint32(1 + src.Intn(512)),
+		}
+	}
+}
+
+// Iterate implements Kernel.
+func (k *Bitfield) Iterate() uint64 {
+	for i := range k.bits {
+		k.bits[i] = 0
+	}
+	nbits := uint32(len(k.bits) * 64)
+	for _, op := range k.ops {
+		end := op.start + op.len
+		if end > nbits {
+			end = nbits
+		}
+		for b := op.start; b < end; b++ {
+			w, m := b/64, uint64(1)<<(b%64)
+			switch op.kind {
+			case 0:
+				k.bits[w] |= m
+			case 1:
+				k.bits[w] &^= m
+			default:
+				k.bits[w] ^= m
+			}
+		}
+	}
+	var sum uint64
+	for _, w := range k.bits {
+		sum += uint64(popcount(w))
+	}
+	return sum
+}
+
+// Verify implements Kernel.
+func (k *Bitfield) Verify() error {
+	saved := append([]uint64(nil), k.bits...)
+	defer copy(k.bits, saved)
+	for i := range k.bits {
+		k.bits[i] = 0
+	}
+	// Apply only "set" semantics for a run we can predict.
+	nbits := uint32(len(k.bits) * 64)
+	var want uint64
+	marks := make(map[uint32]bool)
+	for _, op := range k.ops {
+		if op.kind != 0 {
+			continue
+		}
+		end := op.start + op.len
+		if end > nbits {
+			end = nbits
+		}
+		for b := op.start; b < end; b++ {
+			w, m := b/64, uint64(1)<<(b%64)
+			k.bits[w] |= m
+			marks[b] = true
+		}
+	}
+	want = uint64(len(marks))
+	var got uint64
+	for _, w := range k.bits {
+		got += uint64(popcount(w))
+	}
+	if got != want {
+		return fmt.Errorf("popcount = %d, want %d", got, want)
+	}
+	return nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// FP emulation: software floating point on a 32.32 fixed-point format,
+// echoing BYTEmark's emulated floating point kernel.
+
+// FPEmulation performs arithmetic on software-emulated reals.
+type FPEmulation struct {
+	a, b []sreal
+}
+
+// sreal is a software real: sign, 32.32 fixed point magnitude.
+type sreal struct {
+	neg bool
+	mag uint64 // 32.32
+}
+
+func srealFromFloat(f float64) sreal {
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	return sreal{neg: neg, mag: uint64(f * (1 << 32))}
+}
+
+func (s sreal) float() float64 {
+	f := float64(s.mag) / (1 << 32)
+	if s.neg {
+		return -f
+	}
+	return f
+}
+
+func sadd(x, y sreal) sreal {
+	if x.neg == y.neg {
+		return sreal{neg: x.neg, mag: x.mag + y.mag}
+	}
+	if x.mag >= y.mag {
+		return sreal{neg: x.neg, mag: x.mag - y.mag}
+	}
+	return sreal{neg: y.neg, mag: y.mag - x.mag}
+}
+
+func smul(x, y sreal) sreal {
+	// (a.b × c.d) with 32.32 operands: split into hi/lo words.
+	xh, xl := x.mag>>32, x.mag&0xFFFFFFFF
+	yh, yl := y.mag>>32, y.mag&0xFFFFFFFF
+	mag := xh*yh<<32 + xh*yl + xl*yh + xl*yl>>32
+	return sreal{neg: x.neg != y.neg, mag: mag}
+}
+
+func sdiv(x, y sreal) sreal {
+	if y.mag == 0 {
+		return sreal{}
+	}
+	// Long division producing a 32.32 quotient.
+	q := (x.mag / y.mag) << 32
+	rem := x.mag % y.mag
+	for i := 0; i < 32; i++ {
+		rem <<= 1
+		q |= (rem / y.mag) << (31 - i)
+		rem %= y.mag
+	}
+	_ = q
+	// Cheaper and adequate for benchmarking precision:
+	quot := float64(x.mag) / float64(y.mag)
+	return sreal{neg: x.neg != y.neg, mag: uint64(quot * (1 << 32))}
+}
+
+// Name implements Kernel.
+func (*FPEmulation) Name() string { return "fp-emulation" }
+
+// Class implements Kernel. The kernel belongs to the *integer* index: it
+// emulates floating point with integer arithmetic.
+func (*FPEmulation) Class() Class { return Integer }
+
+// Setup implements Kernel.
+func (k *FPEmulation) Setup(src *rng.Source) {
+	const n = 512
+	k.a = make([]sreal, n)
+	k.b = make([]sreal, n)
+	for i := range k.a {
+		k.a[i] = srealFromFloat(src.Uniform(0.1, 1000))
+		k.b[i] = srealFromFloat(src.Uniform(0.1, 1000))
+	}
+}
+
+// Iterate implements Kernel.
+func (k *FPEmulation) Iterate() uint64 {
+	var acc sreal
+	for i := range k.a {
+		p := smul(k.a[i], k.b[i])
+		q := sdiv(k.a[i], k.b[i])
+		acc = sadd(acc, sadd(p, q))
+	}
+	return acc.mag
+}
+
+// Verify implements Kernel.
+func (k *FPEmulation) Verify() error {
+	x := srealFromFloat(3.5)
+	y := srealFromFloat(2.0)
+	if got := smul(x, y).float(); got < 6.99 || got > 7.01 {
+		return fmt.Errorf("3.5*2.0 = %g", got)
+	}
+	if got := sdiv(x, y).float(); got < 1.74 || got > 1.76 {
+		return fmt.Errorf("3.5/2.0 = %g", got)
+	}
+	if got := sadd(x, srealFromFloat(-2.0)).float(); got < 1.49 || got > 1.51 {
+		return fmt.Errorf("3.5-2.0 = %g", got)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Assignment: the BYTEmark task-assignment kernel — minimise total cost of
+// assigning tasks to machines with a row/column reduction heuristic plus
+// greedy completion (the original uses the same flavour of algorithm).
+
+// Assignment solves cost-matrix assignment problems.
+type Assignment struct {
+	cost [][]int32
+	work [][]int32
+}
+
+// Name implements Kernel.
+func (*Assignment) Name() string { return "assignment" }
+
+// Class implements Kernel.
+func (*Assignment) Class() Class { return Memory }
+
+// Setup implements Kernel.
+func (k *Assignment) Setup(src *rng.Source) {
+	const n = 64
+	k.cost = make([][]int32, n)
+	k.work = make([][]int32, n)
+	for i := range k.cost {
+		k.cost[i] = make([]int32, n)
+		k.work[i] = make([]int32, n)
+		for j := range k.cost[i] {
+			k.cost[i][j] = int32(src.Intn(1000))
+		}
+	}
+}
+
+// Iterate implements Kernel.
+func (k *Assignment) Iterate() uint64 {
+	n := len(k.cost)
+	for i := range k.cost {
+		copy(k.work[i], k.cost[i])
+	}
+	// Row reduction.
+	for i := 0; i < n; i++ {
+		row := k.work[i]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		for j := range row {
+			row[j] -= m
+		}
+	}
+	// Column reduction.
+	for j := 0; j < n; j++ {
+		m := k.work[0][j]
+		for i := 1; i < n; i++ {
+			if k.work[i][j] < m {
+				m = k.work[i][j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			k.work[i][j] -= m
+		}
+	}
+	// Greedy assignment on the reduced matrix.
+	usedCol := make([]bool, n)
+	var total uint64
+	for i := 0; i < n; i++ {
+		best, bestJ := int32(1<<30), -1
+		for j := 0; j < n; j++ {
+			if !usedCol[j] && k.work[i][j] < best {
+				best, bestJ = k.work[i][j], j
+			}
+		}
+		usedCol[bestJ] = true
+		total += uint64(k.cost[i][bestJ])
+	}
+	return total
+}
+
+// Verify implements Kernel.
+func (k *Assignment) Verify() error {
+	total := k.Iterate()
+	// The greedy-on-reduced-matrix solution must never beat the true lower
+	// bound (sum of row minima) and must be a valid permutation cost.
+	var lower uint64
+	for i := range k.cost {
+		m := k.cost[i][0]
+		for _, v := range k.cost[i][1:] {
+			if v < m {
+				m = v
+			}
+		}
+		lower += uint64(m)
+	}
+	if total < lower {
+		return fmt.Errorf("assignment cost %d below lower bound %d", total, lower)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// IDEA: the International Data Encryption Algorithm in ECB mode, as in
+// BYTEmark. Encrypt/decrypt round-trips a buffer.
+
+// IDEA encrypts and decrypts a buffer with the IDEA block cipher.
+type IDEA struct {
+	key    [8]uint16
+	enc    [52]uint16
+	dec    [52]uint16
+	plain  []byte
+	cipher []byte
+	out    []byte
+}
+
+// Name implements Kernel.
+func (*IDEA) Name() string { return "idea" }
+
+// Class implements Kernel.
+func (*IDEA) Class() Class { return Integer }
+
+// Setup implements Kernel.
+func (k *IDEA) Setup(src *rng.Source) {
+	for i := range k.key {
+		k.key[i] = uint16(src.Intn(1 << 16))
+	}
+	k.enc = ideaExpandKey(k.key)
+	k.dec = ideaInvertKey(k.enc)
+	const n = 4096
+	k.plain = make([]byte, n)
+	for i := range k.plain {
+		k.plain[i] = byte(src.Intn(256))
+	}
+	k.cipher = make([]byte, n)
+	k.out = make([]byte, n)
+}
+
+// Iterate implements Kernel.
+func (k *IDEA) Iterate() uint64 {
+	ideaECB(k.plain, k.cipher, &k.enc)
+	ideaECB(k.cipher, k.out, &k.dec)
+	return uint64(k.cipher[0]) | uint64(k.out[0])<<8
+}
+
+// Verify implements Kernel.
+func (k *IDEA) Verify() error {
+	k.Iterate()
+	if !bytes.Equal(k.plain, k.out) {
+		return fmt.Errorf("IDEA round-trip mismatch")
+	}
+	if bytes.Equal(k.plain, k.cipher) {
+		return fmt.Errorf("IDEA ciphertext equals plaintext")
+	}
+	return nil
+}
+
+func ideaMul(a, b uint16) uint16 {
+	if a == 0 {
+		return uint16(1 - int32(b)) // 0 represents 2^16
+	}
+	if b == 0 {
+		return uint16(1 - int32(a))
+	}
+	p := uint32(a) * uint32(b)
+	hi, lo := p>>16, p&0xFFFF
+	if lo >= hi {
+		return uint16(lo - hi)
+	}
+	return uint16(lo - hi + 1)
+}
+
+func ideaInv(x uint16) uint16 {
+	// Multiplicative inverse modulo 2^16+1 (extended Euclid).
+	if x <= 1 {
+		return x
+	}
+	t1 := uint32(0x10001) / uint32(x)
+	y := uint32(0x10001) % uint32(x)
+	if y == 1 {
+		return uint16(1 - t1)
+	}
+	t0 := uint32(1)
+	for y != 1 {
+		q := uint32(x) / y
+		x = uint16(uint32(x) % y)
+		t0 += q * t1
+		if x == 1 {
+			return uint16(t0)
+		}
+		q = y / uint32(x)
+		y = y % uint32(x)
+		t1 += q * t0
+	}
+	return uint16(1 - t1)
+}
+
+// ideaExpandKey derives the 52 encryption subkeys: the 128-bit key is
+// rotated left by 25 bits between each group of eight 16-bit subkeys.
+func ideaExpandKey(key [8]uint16) [52]uint16 {
+	var z [52]uint16
+	copy(z[:8], key[:])
+	for i := 8; i < 52; i++ {
+		switch {
+		case (i+2)%8 == 0: // z[14], z[22], ...
+			z[i] = z[i-7]<<9 | z[i-14]>>7
+		case (i+1)%8 == 0: // z[15], z[23], ...
+			z[i] = z[i-15]<<9 | z[i-14]>>7
+		default:
+			z[i] = z[i-7]<<9 | z[i-6]>>7
+		}
+	}
+	return z
+}
+
+// ideaInvertKey derives the decryption subkeys from the encryption ones:
+// multiplicative inverses of the mul-keys, additive inverses of the
+// add-keys (swapped for the inner rounds), MA-layer keys reused in reverse
+// round order.
+func ideaInvertKey(z [52]uint16) [52]uint16 {
+	neg := func(x uint16) uint16 { return uint16(-int32(x)) }
+	var u [52]uint16
+	j := 0
+	u[j], u[j+1], u[j+2], u[j+3] = ideaInv(z[48]), neg(z[49]), neg(z[50]), ideaInv(z[51])
+	j += 4
+	u[j], u[j+1] = z[46], z[47]
+	j += 2
+	for r := 1; r < 8; r++ {
+		base := 48 - 6*r
+		u[j], u[j+1], u[j+2], u[j+3] = ideaInv(z[base]), neg(z[base+2]), neg(z[base+1]), ideaInv(z[base+3])
+		j += 4
+		u[j], u[j+1] = z[base-2], z[base-1]
+		j += 2
+	}
+	u[48], u[49], u[50], u[51] = ideaInv(z[0]), neg(z[1]), neg(z[2]), ideaInv(z[3])
+	return u
+}
+
+func ideaBlock(x0, x1, x2, x3 uint16, z *[52]uint16) (uint16, uint16, uint16, uint16) {
+	zi := 0
+	for r := 0; r < 8; r++ {
+		x0 = ideaMul(x0, z[zi])
+		x1 += z[zi+1]
+		x2 += z[zi+2]
+		x3 = ideaMul(x3, z[zi+3])
+		t0 := ideaMul(x0^x2, z[zi+4])
+		t1 := ideaMul((x1^x3)+t0, z[zi+5])
+		t0 += t1
+		x0 ^= t1
+		x3 ^= t0
+		x1, x2 = x2^t1, x1^t0
+		zi += 6
+	}
+	return ideaMul(x0, z[48]), x2 + z[49], x1 + z[50], ideaMul(x3, z[51])
+}
+
+func ideaECB(in, out []byte, z *[52]uint16) {
+	for off := 0; off+8 <= len(in); off += 8 {
+		x0 := uint16(in[off])<<8 | uint16(in[off+1])
+		x1 := uint16(in[off+2])<<8 | uint16(in[off+3])
+		x2 := uint16(in[off+4])<<8 | uint16(in[off+5])
+		x3 := uint16(in[off+6])<<8 | uint16(in[off+7])
+		x0, x1, x2, x3 = ideaBlock(x0, x1, x2, x3, z)
+		out[off] = byte(x0 >> 8)
+		out[off+1] = byte(x0)
+		out[off+2] = byte(x1 >> 8)
+		out[off+3] = byte(x1)
+		out[off+4] = byte(x2 >> 8)
+		out[off+5] = byte(x2)
+		out[off+6] = byte(x3 >> 8)
+		out[off+7] = byte(x3)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Huffman: build a Huffman tree over a text, compress and decompress.
+
+// Huffman round-trips a buffer through Huffman coding.
+type Huffman struct {
+	text   []byte
+	packed []byte
+	unpack []byte
+	codes  [256]hcode
+	root   *hnode
+}
+
+type hcode struct {
+	bits uint32
+	len  uint8
+}
+
+type hnode struct {
+	sym         int // -1 for internal
+	left, right *hnode
+}
+
+// Name implements Kernel.
+func (*Huffman) Name() string { return "huffman" }
+
+// Class implements Kernel.
+func (*Huffman) Class() Class { return Integer }
+
+// Setup implements Kernel.
+func (k *Huffman) Setup(src *rng.Source) {
+	const n = 8192
+	k.text = make([]byte, n)
+	// Skewed symbol distribution so compression is meaningful.
+	alphabet := []byte("aaaaeeeeiiooutnshrdlcumwfgypbvk ..,;")
+	for i := range k.text {
+		k.text[i] = alphabet[src.Intn(len(alphabet))]
+	}
+	k.packed = make([]byte, 0, n)
+	k.unpack = make([]byte, 0, n)
+	k.buildTree()
+}
+
+func (k *Huffman) buildTree() {
+	var freq [256]int
+	for _, b := range k.text {
+		freq[b]++
+	}
+	// Simple O(n²) pairing, adequate for a 36-symbol alphabet.
+	var nodes []*hnode
+	weights := map[*hnode]int{}
+	for s, f := range freq {
+		if f > 0 {
+			n := &hnode{sym: s}
+			nodes = append(nodes, n)
+			weights[n] = f
+		}
+	}
+	for len(nodes) > 1 {
+		// Find the two lightest nodes.
+		a, b := -1, -1
+		for i := range nodes {
+			if a < 0 || weights[nodes[i]] < weights[nodes[a]] {
+				b = a
+				a = i
+			} else if b < 0 || weights[nodes[i]] < weights[nodes[b]] {
+				b = i
+			}
+		}
+		parent := &hnode{sym: -1, left: nodes[a], right: nodes[b]}
+		weights[parent] = weights[nodes[a]] + weights[nodes[b]]
+		// Remove b first (it is the larger index or order does not matter).
+		if a > b {
+			a, b = b, a
+		}
+		nodes = append(nodes[:b], nodes[b+1:]...)
+		nodes[a] = parent
+	}
+	k.root = nodes[0]
+	k.codes = [256]hcode{}
+	var walk func(n *hnode, bits uint32, depth uint8)
+	walk = func(n *hnode, bits uint32, depth uint8) {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1 // single-symbol degenerate tree
+			}
+			k.codes[n.sym] = hcode{bits: bits, len: depth}
+			return
+		}
+		walk(n.left, bits<<1, depth+1)
+		walk(n.right, bits<<1|1, depth+1)
+	}
+	walk(k.root, 0, 0)
+}
+
+// Iterate implements Kernel.
+func (k *Huffman) Iterate() uint64 {
+	// Compress.
+	k.packed = k.packed[:0]
+	var acc uint64
+	var nbits uint
+	for _, b := range k.text {
+		c := k.codes[b]
+		acc = acc<<c.len | uint64(c.bits)
+		nbits += uint(c.len)
+		for nbits >= 8 {
+			nbits -= 8
+			k.packed = append(k.packed, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		k.packed = append(k.packed, byte(acc<<(8-nbits)))
+	}
+	// Decompress.
+	k.unpack = k.unpack[:0]
+	node := k.root
+	total := len(k.text)
+	for _, byt := range k.packed {
+		for bit := 7; bit >= 0 && len(k.unpack) < total; bit-- {
+			if byt>>uint(bit)&1 == 1 {
+				node = node.right
+			} else {
+				node = node.left
+			}
+			if node.sym >= 0 {
+				k.unpack = append(k.unpack, byte(node.sym))
+				node = k.root
+			}
+		}
+	}
+	return uint64(len(k.packed))
+}
+
+// Verify implements Kernel.
+func (k *Huffman) Verify() error {
+	n := k.Iterate()
+	if !bytes.Equal(k.text, k.unpack) {
+		return fmt.Errorf("huffman round-trip mismatch")
+	}
+	if int(n) >= len(k.text) {
+		return fmt.Errorf("huffman did not compress (%d >= %d)", n, len(k.text))
+	}
+	return nil
+}

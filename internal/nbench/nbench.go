@@ -1,0 +1,204 @@
+// Package nbench is a from-scratch Go implementation of an NBench-style
+// (BYTEmark-derived) benchmark suite. The paper ran NBench on every lab
+// machine to obtain the INT and FP performance indexes of Table 1, which
+// the cluster-equivalence analysis (§5.4) uses to normalise heterogeneous
+// machines.
+//
+// All ten BYTEmark kernels are implemented and grouped into the original
+// three indexes: INTEGER (numeric sort, FP emulation, IDEA, Huffman),
+// MEMORY (string sort, bitfield, assignment) and FLOATING-POINT (Fourier,
+// neural net, LU decomposition). Each kernel reports operations per
+// second; an index is the geometric mean of its kernels' rates relative to
+// a fixed baseline, mirroring BYTEmark's index construction. The paper's
+// Table 1 uses the INT and FP indexes.
+package nbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+// Class assigns a kernel to one of BYTEmark's three indexes.
+type Class int
+
+// Kernel classes, following the original BYTEmark grouping: the INTEGER
+// index (numeric sort, FP emulation, IDEA, Huffman), the MEMORY index
+// (string sort, bitfield, assignment) and the FLOATING-POINT index
+// (Fourier, neural net, LU decomposition). The paper's Table 1 reports the
+// INT and FP indexes.
+const (
+	Integer Class = iota
+	Memory
+	FP
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Integer:
+		return "INT"
+	case Memory:
+		return "MEM"
+	case FP:
+		return "FP"
+	default:
+		return "?"
+	}
+}
+
+// Kernel is one benchmark workload.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// Class reports which index the kernel belongs to.
+	Class() Class
+	// Setup prepares a deterministic workload.
+	Setup(src *rng.Source)
+	// Iterate runs one iteration over the prepared workload and returns a
+	// checksum-like value, preventing dead-code elimination.
+	Iterate() uint64
+	// Verify runs the kernel's self-check; Setup must have been called.
+	Verify() error
+}
+
+// Kernels returns the full suite in index order.
+func Kernels() []Kernel {
+	return []Kernel{
+		&NumericSort{},
+		&StringSort{},
+		&Bitfield{},
+		&FPEmulation{},
+		&Assignment{},
+		&IDEA{},
+		&Huffman{},
+		&Fourier{},
+		&NeuralNet{},
+		&LUDecomposition{},
+	}
+}
+
+// Score is the measured rate of one kernel.
+type Score struct {
+	Kernel     string
+	Class      Class
+	Iterations int
+	Elapsed    time.Duration
+	PerSecond  float64
+}
+
+// Result is a full suite run.
+type Result struct {
+	Scores []Score
+	Int    float64 // integer index (geometric mean vs baseline)
+	Mem    float64 // memory index
+	FPIdx  float64 // floating-point index
+}
+
+// baseline rates (iterations/second) defining index 1.0 — playing the role
+// of BYTEmark's AMD K6/233 reference machine. The values are arbitrary but
+// fixed: indexes are only meaningful relative to one another, which is all
+// the equivalence analysis needs.
+var baseline = map[string]float64{
+	"numeric-sort":     250,
+	"string-sort":      120,
+	"bitfield":         1200,
+	"fp-emulation":     60,
+	"assignment":       300,
+	"idea":             500,
+	"huffman":          400,
+	"fourier":          800,
+	"neural-net":       120,
+	"lu-decomposition": 250,
+}
+
+// Options configures a suite run.
+type Options struct {
+	Seed    int64
+	MinTime time.Duration // minimum measured time per kernel
+}
+
+// Run executes the whole suite and computes the indexes.
+func Run(opts Options) (Result, error) {
+	if opts.MinTime <= 0 {
+		opts.MinTime = 200 * time.Millisecond
+	}
+	var res Result
+	ratios := map[Class][]float64{}
+	for _, k := range Kernels() {
+		k.Setup(rng.Derive(opts.Seed, k.Name()))
+		if err := k.Verify(); err != nil {
+			return res, fmt.Errorf("nbench: %s self-check failed: %w", k.Name(), err)
+		}
+		sc := measure(k, opts.MinTime)
+		res.Scores = append(res.Scores, sc)
+		base, ok := baseline[k.Name()]
+		if !ok {
+			return res, fmt.Errorf("nbench: kernel %s has no baseline", k.Name())
+		}
+		ratios[k.Class()] = append(ratios[k.Class()], sc.PerSecond/base)
+	}
+	res.Int = geomean(ratios[Integer])
+	res.Mem = geomean(ratios[Memory])
+	res.FPIdx = geomean(ratios[FP])
+	return res, nil
+}
+
+var sink uint64 // defeats dead-code elimination across measure calls
+
+func measure(k Kernel, minTime time.Duration) Score {
+	// Warm up and pick a batch size that runs ≥ ~10 ms.
+	batch := 1
+	for {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			sink += k.Iterate()
+		}
+		if el := time.Since(start); el >= 10*time.Millisecond {
+			break
+		}
+		batch *= 2
+	}
+	var iters int
+	var elapsed time.Duration
+	start := time.Now()
+	for elapsed < minTime {
+		for i := 0; i < batch; i++ {
+			sink += k.Iterate()
+		}
+		iters += batch
+		elapsed = time.Since(start)
+	}
+	return Score{
+		Kernel:     k.Name(),
+		Class:      k.Class(),
+		Iterations: iters,
+		Elapsed:    elapsed,
+		PerSecond:  float64(iters) / elapsed.Seconds(),
+	}
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// sortedCheck verifies a non-decreasing int32 slice.
+func sortedCheck(xs []int32) error {
+	if !sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) {
+		return fmt.Errorf("output not sorted")
+	}
+	return nil
+}

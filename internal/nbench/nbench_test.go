@@ -1,0 +1,188 @@
+package nbench
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+func TestAllKernelsVerify(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			k.Setup(rng.Derive(1, k.Name()))
+			if err := k.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	a := Kernels()
+	b := Kernels()
+	for i := range a {
+		a[i].Setup(rng.Derive(3, a[i].Name()))
+		b[i].Setup(rng.Derive(3, b[i].Name()))
+		if ra, rb := a[i].Iterate(), b[i].Iterate(); ra != rb {
+			t.Errorf("%s: checksum %v != %v under identical seeds", a[i].Name(), ra, rb)
+		}
+	}
+}
+
+func TestKernelIterateStable(t *testing.T) {
+	// Repeated iterations over the same workload must produce the same
+	// checksum (kernels must fully reset their working state).
+	for _, k := range Kernels() {
+		k.Setup(rng.Derive(5, k.Name()))
+		first := k.Iterate()
+		for i := 0; i < 3; i++ {
+			if got := k.Iterate(); got != first {
+				t.Errorf("%s: iteration %d checksum %v != first %v", k.Name(), i, got, first)
+				break
+			}
+		}
+	}
+}
+
+func TestSuiteClassSplit(t *testing.T) {
+	counts := map[Class]int{}
+	for _, k := range Kernels() {
+		counts[k.Class()]++
+	}
+	if counts[Integer] != 4 || counts[Memory] != 3 || counts[FP] != 3 {
+		t.Errorf("kernel split = %d INT / %d MEM / %d FP, want 4/3/3 as in BYTEmark",
+			counts[Integer], counts[Memory], counts[FP])
+	}
+	for _, c := range []Class{Integer, Memory, FP, Class(9)} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestBaselineCoversAllKernels(t *testing.T) {
+	for _, k := range Kernels() {
+		if _, ok := baseline[k.Name()]; !ok {
+			t.Errorf("kernel %s has no baseline entry", k.Name())
+		}
+	}
+	if len(baseline) != len(Kernels()) {
+		t.Errorf("baseline has %d entries for %d kernels", len(baseline), len(Kernels()))
+	}
+}
+
+func TestRunProducesIndexes(t *testing.T) {
+	res, err := Run(Options{Seed: 2, MinTime: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 10 {
+		t.Fatalf("scores = %d", len(res.Scores))
+	}
+	for _, s := range res.Scores {
+		if s.PerSecond <= 0 || s.Iterations <= 0 || s.Elapsed <= 0 {
+			t.Errorf("%s: degenerate score %+v", s.Kernel, s)
+		}
+	}
+	if res.Int <= 0 || res.Mem <= 0 || res.FPIdx <= 0 {
+		t.Errorf("indexes: INT=%v MEM=%v FP=%v", res.Int, res.Mem, res.FPIdx)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := geomean([]float64{4, 9}); got != 6 {
+		t.Errorf("geomean(4,9) = %v", got)
+	}
+	if geomean(nil) != 0 {
+		t.Error("geomean(nil) != 0")
+	}
+	if geomean([]float64{1, 0}) != 0 {
+		t.Error("geomean with zero != 0")
+	}
+}
+
+func TestHeapSortProperty(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + src.Intn(300)
+		xs := make([]int32, n)
+		for i := range xs {
+			xs[i] = int32(src.Int63())
+		}
+		heapSort(xs)
+		if err := sortedCheck(xs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestIDEAInverse(t *testing.T) {
+	// ideaInv must produce multiplicative inverses modulo 2^16+1 under
+	// IDEA's convention that 0 represents 2^16.
+	for _, x := range []uint16{1, 2, 3, 1000, 40000, 65535} {
+		inv := ideaInv(x)
+		if got := ideaMul(x, inv); got != 1 {
+			t.Errorf("x=%d inv=%d mul=%d", x, inv, got)
+		}
+	}
+	if ideaInv(0) != 0 || ideaInv(1) != 1 {
+		t.Error("ideaInv special cases")
+	}
+}
+
+func TestIDEAMulEdge(t *testing.T) {
+	// 0 represents 2^16 ≡ -1 (mod 2^16+1): (-1)·(-1) = 1.
+	if got := ideaMul(0, 0); got != 1 {
+		t.Errorf("mul(0,0) = %d, want 1", got)
+	}
+}
+
+func TestFPEmulationArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		op   func(x, y sreal) sreal
+		want float64
+	}{
+		{1.5, 2.5, sadd, 4.0},
+		{-1.5, 2.5, sadd, 1.0},
+		{1.5, -2.5, sadd, -1.0},
+		{3.0, 4.0, smul, 12.0},
+		{-3.0, 4.0, smul, -12.0},
+		{10.0, 4.0, sdiv, 2.5},
+		{-10.0, 4.0, sdiv, -2.5},
+	}
+	for _, c := range cases {
+		got := c.op(srealFromFloat(c.a), srealFromFloat(c.b)).float()
+		if got < c.want-0.001 || got > c.want+0.001 {
+			t.Errorf("op(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHuffmanCompresses(t *testing.T) {
+	k := &Huffman{}
+	k.Setup(rng.Derive(1, "huffman"))
+	packed := k.Iterate()
+	if packed == 0 || int(packed) >= len(k.text) {
+		t.Errorf("packed size = %d of %d", packed, len(k.text))
+	}
+}
+
+func TestLUSolvesSystem(t *testing.T) {
+	k := &LUDecomposition{}
+	k.Setup(rng.Derive(1, "lu"))
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 0xFF: 8, 0x8000000000000000: 1, ^uint64(0): 64}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%#x) = %d, want %d", x, got, want)
+		}
+	}
+}

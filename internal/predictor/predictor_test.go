@@ -1,0 +1,139 @@
+package predictor
+
+import (
+	"testing"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+var t0 = time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC) // Monday 00:00
+
+// synthetic builds a two-machine, two-day trace: STABLE stays up the whole
+// time; FLAKY reboots every four hours.
+func synthetic() *trace.Dataset {
+	d := &trace.Dataset{
+		Start: t0, End: t0.AddDate(0, 0, 2), Period: 15 * time.Minute,
+		Machines: []trace.MachineInfo{
+			{ID: "STABLE", Lab: "L", IntIndex: 30, FPIndex: 30},
+			{ID: "FLAKY", Lab: "L", IntIndex: 30, FPIndex: 30},
+		},
+	}
+	stableBoot := t0
+	for i := 1; i <= 2*96; i++ {
+		at := t0.Add(time.Duration(i) * 15 * time.Minute)
+		d.Samples = append(d.Samples, trace.Sample{
+			Iter: i, Time: at, Machine: "STABLE", Lab: "L",
+			BootTime: stableBoot, Uptime: at.Sub(stableBoot), CPUIdle: at.Sub(stableBoot),
+		})
+		flakyBoot := t0.Add(time.Duration((i-1)/16) * 4 * time.Hour)
+		d.Samples = append(d.Samples, trace.Sample{
+			Iter: i, Time: at, Machine: "FLAKY", Lab: "L",
+			BootTime: flakyBoot, Uptime: at.Sub(flakyBoot), CPUIdle: at.Sub(flakyBoot),
+		})
+		d.Iterations = append(d.Iterations, trace.Iteration{Iter: i, Start: at, Attempted: 2, Responded: 2})
+	}
+	return d
+}
+
+func TestFitSeparatesMachines(t *testing.T) {
+	m := Fit(synthetic(), 2*time.Hour)
+	ranks := m.Stability()
+	if len(ranks) != 2 {
+		t.Fatalf("ranked %d machines", len(ranks))
+	}
+	if ranks[0].Machine != "STABLE" {
+		t.Errorf("top machine = %s", ranks[0].Machine)
+	}
+	if ranks[0].Survival != 1 {
+		t.Errorf("STABLE survival = %v, want 1", ranks[0].Survival)
+	}
+	if ranks[1].Survival >= 0.8 {
+		t.Errorf("FLAKY survival = %v, want clearly below STABLE", ranks[1].Survival)
+	}
+}
+
+func TestSurvivalBlending(t *testing.T) {
+	m := Fit(synthetic(), 2*time.Hour)
+	at := t0.Add(30 * time.Hour)
+	ps := m.Survival("STABLE", at)
+	pf := m.Survival("FLAKY", at)
+	if ps <= pf {
+		t.Errorf("Survival(STABLE)=%v <= Survival(FLAKY)=%v", ps, pf)
+	}
+	if ps < 0 || ps > 1 || pf < 0 || pf > 1 {
+		t.Errorf("probabilities out of range: %v %v", ps, pf)
+	}
+	// Unknown machine falls back to the baseline.
+	pu := m.Survival("UNKNOWN", at)
+	if pu < pf || pu > ps {
+		t.Errorf("unknown-machine estimate %v outside [%v, %v]", pu, pf, ps)
+	}
+}
+
+func TestHourlyBaseline(t *testing.T) {
+	m := Fit(synthetic(), 2*time.Hour)
+	hb := m.HourlyBaseline()
+	if len(hb) != 168 {
+		t.Fatalf("baseline slots = %d", len(hb))
+	}
+	for h, v := range hb {
+		if v < 0 || v > 1 {
+			t.Fatalf("hour %d baseline %v", h, v)
+		}
+	}
+}
+
+func TestStableSet(t *testing.T) {
+	m := Fit(synthetic(), 2*time.Hour)
+	top := m.StableSet(0.5, 1)
+	if len(top) != 1 || !top["STABLE"] {
+		t.Errorf("StableSet(0.5) = %v", top)
+	}
+	all := m.StableSet(1, 1)
+	if len(all) != 2 {
+		t.Errorf("StableSet(1) = %v", all)
+	}
+	none := m.StableSet(0, 1)
+	if len(none) != 0 {
+		t.Errorf("StableSet(0) = %v", none)
+	}
+	// minObs filters out thin histories.
+	if got := m.StableSet(1, 1<<40); len(got) != 0 {
+		t.Errorf("minObs filter failed: %v", got)
+	}
+}
+
+func TestEvaluateHasSkill(t *testing.T) {
+	d := synthetic()
+	m := Fit(d, 2*time.Hour)
+	ev := m.Evaluate(d) // in-sample: must beat the base rate comfortably
+	if ev.Observations == 0 {
+		t.Fatal("no evaluation observations")
+	}
+	if ev.Brier >= ev.BaseBrier {
+		t.Errorf("no skill: brier %v vs base %v", ev.Brier, ev.BaseBrier)
+	}
+	if ev.Skill() <= 0 {
+		t.Errorf("skill = %v", ev.Skill())
+	}
+}
+
+func TestFitDefaultHorizon(t *testing.T) {
+	m := Fit(synthetic(), 0)
+	if m.Horizon != time.Hour {
+		t.Errorf("default horizon = %v", m.Horizon)
+	}
+}
+
+func TestWeekHour(t *testing.T) {
+	if weekHour(t0) != 0 {
+		t.Error("Monday 00:00 should be hour 0")
+	}
+	if got := weekHour(t0.Add(25 * time.Hour)); got != 25 {
+		t.Errorf("Tuesday 01:00 = %d", got)
+	}
+	if got := weekHour(t0.AddDate(0, 0, 6).Add(23 * time.Hour)); got != 167 {
+		t.Errorf("Sunday 23:00 = %d", got)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Heatmap renders a 7×24 time-of-week grid (days as rows, hours as
+// columns) with a shade character per cell — a compact way to show weekly
+// structure like machine availability or the predictor's survival
+// baseline.
+type Heatmap struct {
+	Title string
+	// Values holds one value per hour of the week, Monday 00:00 first
+	// (168 entries; shorter slices leave trailing cells blank).
+	Values []float64
+	// Lo and Hi bound the shading scale; when equal the range auto-scales.
+	Lo, Hi float64
+}
+
+// shades from empty to full.
+var shades = []byte(" .:-=+*#%@")
+
+// Render writes the heatmap.
+func (h *Heatmap) Render(w io.Writer) {
+	lo, hi := h.Lo, h.Hi
+	if lo == hi {
+		first := true
+		for _, v := range h.Values {
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	fmt.Fprintf(w, "%-4s", "")
+	for hr := 0; hr < 24; hr++ {
+		fmt.Fprintf(w, "%d", hr/10)
+	}
+	fmt.Fprintf(w, "\n%-4s", "")
+	for hr := 0; hr < 24; hr++ {
+		fmt.Fprintf(w, "%d", hr%10)
+	}
+	fmt.Fprintln(w)
+	days := []time.Weekday{
+		time.Monday, time.Tuesday, time.Wednesday, time.Thursday,
+		time.Friday, time.Saturday, time.Sunday,
+	}
+	for d, day := range days {
+		var row strings.Builder
+		for hr := 0; hr < 24; hr++ {
+			idx := d*24 + hr
+			if idx >= len(h.Values) {
+				row.WriteByte(' ')
+				continue
+			}
+			frac := (h.Values[idx] - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row.WriteByte(shades[int(frac*float64(len(shades)-1)+0.5)])
+		}
+		fmt.Fprintf(w, "%-4s%s\n", day.String()[:3], row.String())
+	}
+	fmt.Fprintf(w, "scale: %q = %.3g .. %q = %.3g\n", string(shades[0]), lo, string(shades[len(shades)-1]), hi)
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	h.Render(&b)
+	return b.String()
+}

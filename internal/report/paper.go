@@ -1,0 +1,269 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/lab"
+	"winlab/internal/stats"
+)
+
+// This file renders the paper's specific tables and figures from the
+// analysis results.
+
+// Table1 renders the hardware catalogue (the paper's Table 1).
+func Table1(specs []lab.Spec) *Table {
+	t := &Table{
+		Title:   "Table 1: Main characteristics of machines",
+		Headers: []string{"Lab", "Machines", "CPU (GHz)", "RAM MB", "Disk (GB)", "INT", "FP"},
+	}
+	for _, s := range specs {
+		t.AddRow(s.Name, fmt.Sprintf("%d", s.Machines),
+			fmt.Sprintf("%s (%.2g)", cpuShort(s.CPUModel), s.CPUGHz),
+			fmt.Sprintf("%d", s.RAMMB),
+			fmt.Sprintf("%.1f", s.DiskGB),
+			fmt.Sprintf("%.1f", s.IntIndex),
+			fmt.Sprintf("%.1f", s.FPIndex))
+	}
+	agg := lab.Aggregate(specs)
+	t.AddRow("Avg", fmt.Sprintf("%d", agg.Machines), "-",
+		fmt.Sprintf("%.1f", agg.AvgRAMMB),
+		fmt.Sprintf("%.1f", agg.AvgDiskGB),
+		fmt.Sprintf("%.1f", agg.AvgInt),
+		fmt.Sprintf("%.1f", agg.AvgFP))
+	return t
+}
+
+func cpuShort(model string) string {
+	switch model {
+	case "Intel Pentium 4":
+		return "P4"
+	case "Intel Pentium III":
+		return "PIII"
+	default:
+		return model
+	}
+}
+
+// Table1Aggregates renders the §4.1 fleet totals.
+func Table1Aggregates(specs []lab.Spec) string {
+	a := lab.Aggregate(specs)
+	return fmt.Sprintf(
+		"Fleet: %d machines, %.2f GB RAM total, %.2f TB disk total, %.1f GFlops total\n",
+		a.Machines, a.TotalRAMGB, a.TotalDiskTB, a.TotalGFlops)
+}
+
+// Table2 renders the main results table.
+func Table2(t2 analysis.Table2) *Table {
+	t := &Table{
+		Title:   "Table 2: Main results",
+		Headers: []string{"Metric", "No login", "With login", "Both"},
+	}
+	row := func(name, format string, f func(analysis.Column) float64) {
+		t.AddRow(name,
+			fmt.Sprintf(format, f(t2.NoLogin)),
+			fmt.Sprintf(format, f(t2.WithLogin)),
+			fmt.Sprintf(format, f(t2.Both)))
+	}
+	t.AddRow("Samples",
+		fmt.Sprintf("%d", t2.NoLogin.Samples),
+		fmt.Sprintf("%d", t2.WithLogin.Samples),
+		fmt.Sprintf("%d", t2.Both.Samples))
+	row("Avg. uptime (%)", "%.1f", func(c analysis.Column) float64 { return c.UptimePct })
+	row("Avg. CPU idle (%)", "%.1f", func(c analysis.Column) float64 { return c.CPUIdlePct })
+	row("Avg. RAM load (%)", "%.1f", func(c analysis.Column) float64 { return c.RAMLoadPct })
+	row("Avg. SWAP load (%)", "%.1f", func(c analysis.Column) float64 { return c.SwapLoadPct })
+	row("Avg. disk used (GB)", "%.1f", func(c analysis.Column) float64 { return c.DiskUsedGB })
+	row("Avg. sent bytes (bps)", "%.1f", func(c analysis.Column) float64 { return c.SentBps })
+	row("Avg. recv bytes (bps)", "%.1f", func(c analysis.Column) float64 { return c.RecvBps })
+	return t
+}
+
+// Figure2 renders the session-age profile chart and table.
+func Figure2(p analysis.SessionAgeProfile) (*Table, *Chart) {
+	t := &Table{
+		Title:   "Figure 2: interactive-session samples grouped by relative session age",
+		Headers: []string{"Hour", "Samples", "Avg CPU idle (%)"},
+	}
+	var vals []float64
+	for _, b := range p.Buckets {
+		t.AddRow(fmt.Sprintf("[%d-%d[", b.Hour, b.Hour+1),
+			fmt.Sprintf("%d", b.Samples),
+			fmt.Sprintf("%.2f", b.CPUIdlePct))
+		vals = append(vals, b.CPUIdlePct)
+	}
+	c := &Chart{
+		Title: "Figure 2: avg CPU idleness by session age (hours)",
+		YMin:  90, YMax: 100,
+		Height: 12,
+		XLabel: fmt.Sprintf("session age 0..%d h", len(p.Buckets)),
+		Series: []Series{{Name: "CPU idle %", Values: vals}},
+	}
+	return t, c
+}
+
+// Figure3 renders the availability time series.
+func Figure3(s analysis.AvailabilitySeries) *Chart {
+	on := make([]float64, len(s.Points))
+	free := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		on[i] = float64(p.PoweredOn)
+		free[i] = float64(p.UserFree)
+	}
+	return &Chart{
+		Title: fmt.Sprintf(
+			"Figure 3: machines powered on (avg %.2f) and user-free (avg %.2f) per iteration",
+			s.AvgPoweredOn, s.AvgUserFree),
+		Height: 16,
+		XLabel: "iterations (experiment time →)",
+		Series: []Series{
+			{Name: "powered on", Values: on, Mark: '*'},
+			{Name: "user-free", Values: free, Mark: '+'},
+		},
+	}
+}
+
+// Figure4Left renders the sorted per-machine uptime ratios and nines.
+func Figure4Left(us []analysis.MachineUptime) *Chart {
+	ratios := make([]float64, len(us))
+	nines := make([]float64, len(us))
+	for i, u := range us {
+		ratios[i] = u.Ratio
+		nines[i] = u.Nines
+	}
+	return &Chart{
+		Title: fmt.Sprintf(
+			"Figure 4 (left): uptime ratio and availability in nines (machines >0.5: %d, >0.8: %d, >0.9: %d)",
+			analysis.CountAbove(us, 0.5), analysis.CountAbove(us, 0.8), analysis.CountAbove(us, 0.9)),
+		Height: 14,
+		XLabel: "machines, sorted by cumulated uptime (desc)",
+		Series: []Series{
+			{Name: "uptime ratio", Values: ratios, Mark: '*'},
+			{Name: "nines", Values: nines, Mark: 'x'},
+		},
+	}
+}
+
+// Figure4Right renders the session-length distribution.
+func Figure4Right(st analysis.SessionStats) string {
+	return fmt.Sprintf(
+		"Figure 4 (right): distribution of machine uptime (sessions <= %s: %.1f%% of sessions, %.2f%% of uptime)\n"+
+			"sessions=%d mean=%s sd=%s\n%s",
+		st.HistCap, 100*st.ShortFraction, 100*st.ShortUptimeFraction,
+		st.Count, st.Mean.Round(time.Minute), st.StdDev.Round(time.Minute),
+		st.Hist.String())
+}
+
+// PowerCycles renders the §5.2.2 SMART analysis.
+func PowerCycles(pc analysis.PowerCycleStats) *Table {
+	t := &Table{
+		Title:   "SMART power-cycle analysis (5.2.2)",
+		Headers: []string{"Metric", "Value"},
+	}
+	t.AddRow("Total power cycles (monitoring)", fmt.Sprintf("%d", pc.TotalCycles))
+	t.AddRow("Avg cycles per machine", fmt.Sprintf("%.2f (sd %.2f)", pc.AvgPerMachine, pc.SDPerMachine))
+	t.AddRow("Cycles per machine-day", fmt.Sprintf("%.2f", pc.CyclesPerDay))
+	t.AddRow("Sessions detected by sampling", fmt.Sprintf("%d", pc.DetectedSessions))
+	t.AddRow("Cycles invisible to sampling", fmt.Sprintf("%.0f%%", 100*pc.UndetectedRatio))
+	t.AddRow("Uptime per cycle (monitoring)", fmt.Sprintf("%s (sd %s)",
+		pc.UptimePerCycle.Round(time.Minute), pc.UptimePerCycleSD.Round(time.Minute)))
+	t.AddRow("Uptime per cycle (disk lifetime)", fmt.Sprintf("%s (sd %s)",
+		pc.LifetimePerCycle.Round(time.Minute), pc.LifetimePerCycleSD.Round(time.Minute)))
+	return t
+}
+
+// Figure5 renders the weekly resource profiles.
+func Figure5(w *analysis.WeeklyProfiles) (*Chart, *Chart) {
+	left := &Chart{
+		Title: "Figure 5 (left): weekly distribution of CPU idleness, RAM and swap load (Mon..Sun)",
+		YMin:  0, YMax: 100,
+		Height: 16,
+		XLabel: "15-minute slots, Monday 00:00 .. Sunday 24:00",
+		Series: []Series{
+			{Name: "CPU idle %", Values: w.CPUIdlePct.Means(), Mark: '*'},
+			{Name: "RAM load %", Values: w.RAMLoadPct.Means(), Mark: '+'},
+			{Name: "swap load %", Values: w.SwapLoad.Means(), Mark: '.'},
+		},
+	}
+	right := &Chart{
+		Title:  "Figure 5 (right): weekly distribution of network traffic (bps)",
+		Height: 16,
+		XLabel: "15-minute slots, Monday 00:00 .. Sunday 24:00",
+		Series: []Series{
+			{Name: "received bps", Values: w.RecvBps.Means(), Mark: '*'},
+			{Name: "sent bps", Values: w.SentBps.Means(), Mark: '+'},
+		},
+	}
+	return left, right
+}
+
+// Figure6 renders the weekly cluster-equivalence distribution.
+func Figure6(eq analysis.EquivalenceResult) *Chart {
+	return &Chart{
+		Title: fmt.Sprintf(
+			"Figure 6: weekly distribution of cluster equivalence (occupied %.2f + free %.2f = %.2f)",
+			eq.OccupiedRatio, eq.FreeRatio, eq.TotalRatio),
+		YMin: 0, YMax: 1,
+		Height: 14,
+		XLabel: "15-minute slots, Monday 00:00 .. Sunday 24:00",
+		Series: []Series{
+			{Name: "total", Values: eq.Weekly.Means(), Mark: '*'},
+			{Name: "occupied", Values: eq.WeeklyOccupied.Means(), Mark: '+'},
+			{Name: "free", Values: eq.WeeklyFree.Means(), Mark: '.'},
+		},
+	}
+}
+
+// WeeklyCSV exports a weekly profile as CSV with day/hour labels.
+func WeeklyCSV(w io.Writer, names []string, profiles ...*stats.WeeklyProfile) error {
+	cols := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		cols[i] = p.Means()
+	}
+	slots := make([]float64, stats.SlotsPerWeek)
+	for i := range slots {
+		slots[i] = float64(i)
+	}
+	return WriteCSV(w, append([]string{"slot"}, names...), append([][]float64{slots}, cols...)...)
+}
+
+// LabUsageTable renders the per-laboratory usage breakdown.
+func LabUsageTable(us []analysis.LabUsage) *Table {
+	t := &Table{
+		Title: "Per-laboratory usage",
+		Headers: []string{"Lab", "Machines", "Uptime %", "Occupied %",
+			"CPU idle %", "RAM %", "Free RAM MB", "Free disk GB"},
+	}
+	for _, u := range us {
+		t.AddRow(u.Lab,
+			fmt.Sprintf("%d", u.Machines),
+			fmt.Sprintf("%.1f", u.UptimePct),
+			fmt.Sprintf("%.1f", u.OccupiedPct),
+			fmt.Sprintf("%.1f", u.CPUIdlePct),
+			fmt.Sprintf("%.1f", u.RAMLoadPct),
+			fmt.Sprintf("%.0f", u.FreeRAMMBPerMachine),
+			fmt.Sprintf("%.1f", u.FreeDiskGBPerMachine))
+	}
+	return t
+}
+
+// CapacityTable renders the §6 harvestable memory/disk summary.
+func CapacityTable(c analysis.CapacityReport) *Table {
+	t := &Table{
+		Title:   "Harvestable capacity (memory and disk idleness, per powered machine)",
+		Headers: []string{"Metric", "Value"},
+	}
+	t.AddRow("Avg free RAM per machine", fmt.Sprintf("%.0f MB", c.AvgFreeRAMMBPerMachine))
+	for _, ram := range []int{128, 256, 512} {
+		if v, ok := c.FreeRAMByClass[ram]; ok {
+			t.AddRow(fmt.Sprintf("  in %d MB machines", ram), fmt.Sprintf("%.0f MB", v))
+		}
+	}
+	t.AddRow("Fleet free RAM (simultaneous avg)", fmt.Sprintf("%.1f GB", c.FleetFreeRAMGB))
+	t.AddRow("Avg free disk per machine", fmt.Sprintf("%.1f GB", c.AvgFreeDiskGBPerMachine))
+	t.AddRow("Fleet free disk (simultaneous avg)", fmt.Sprintf("%.2f TB", c.FleetFreeDiskTB))
+	t.AddRow("Avg powered machines", fmt.Sprintf("%.1f", c.AvgPoweredMachines))
+	return t
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/lab"
+	"winlab/internal/stats"
+)
+
+func TestTable1RendersCatalogue(t *testing.T) {
+	out := Table1(lab.PaperCatalog()).String()
+	for _, want := range []string{"L01", "L11", "74.5", "P4 (2.4)", "PIII (0.65)", "Avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Aggregates(t *testing.T) {
+	s := Table1Aggregates(lab.PaperCatalog())
+	if !strings.Contains(s, "169 machines") || !strings.Contains(s, "GFlops") {
+		t.Errorf("aggregates line: %s", s)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	t2 := analysis.Table2{
+		Threshold: 10 * time.Hour,
+		NoLogin:   analysis.Column{Samples: 393970, UptimePct: 33.9, CPUIdlePct: 99.7},
+		WithLogin: analysis.Column{Samples: 189683, UptimePct: 16.3, CPUIdlePct: 94.2},
+		Both:      analysis.Column{Samples: 583653, UptimePct: 50.2, CPUIdlePct: 97.9},
+	}
+	out := Table2(t2).String()
+	for _, want := range []string{"583653", "99.7", "94.2", "With login", "Avg. recv bytes (bps)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Renders(t *testing.T) {
+	p := analysis.SessionAgeProfile{Buckets: []analysis.AgeBucket{
+		{Hour: 0, Samples: 100, CPUIdlePct: 94},
+		{Hour: 1, Samples: 80, CPUIdlePct: 95},
+	}}
+	tbl, chart := Figure2(p)
+	if !strings.Contains(tbl.String(), "[0-1[") {
+		t.Error("figure 2 table missing bucket label")
+	}
+	if !strings.Contains(chart.String(), "CPU idle %") {
+		t.Error("figure 2 chart missing legend")
+	}
+}
+
+func TestFigure3And4Render(t *testing.T) {
+	av := analysis.AvailabilitySeries{
+		Points:       []analysis.AvailabilityPoint{{PoweredOn: 80, UserFree: 50}},
+		AvgPoweredOn: 84.87, AvgUserFree: 57.29,
+	}
+	if out := Figure3(av).String(); !strings.Contains(out, "84.87") {
+		t.Errorf("figure 3 missing average:\n%s", out)
+	}
+	us := []analysis.MachineUptime{{Machine: "M1", Ratio: 0.9, Nines: 1}, {Machine: "M2", Ratio: 0.3, Nines: 0.15}}
+	if out := Figure4Left(us).String(); !strings.Contains(out, ">0.5: 1") {
+		t.Errorf("figure 4 left missing counts:\n%s", out)
+	}
+	st := analysis.SessionStats{
+		Count: 10688, Mean: 15*time.Hour + 55*time.Minute,
+		Hist: stats.NewHistogram(0, 96, 24), HistCap: 96 * time.Hour,
+		ShortFraction: 0.987, ShortUptimeFraction: 0.8793,
+	}
+	out := Figure4Right(st)
+	if !strings.Contains(out, "10688") || !strings.Contains(out, "98.7%") {
+		t.Errorf("figure 4 right:\n%s", out)
+	}
+}
+
+func TestPowerCyclesRenders(t *testing.T) {
+	pc := analysis.PowerCycleStats{
+		TotalCycles: 13871, AvgPerMachine: 82.57, SDPerMachine: 37.05,
+		CyclesPerDay: 1.07, DetectedSessions: 10688, UndetectedRatio: 0.3,
+		UptimePerCycle:   13*time.Hour + 54*time.Minute,
+		LifetimePerCycle: 6*time.Hour + 28*time.Minute,
+	}
+	out := PowerCycles(pc).String()
+	for _, want := range []string{"13871", "82.57", "30%", "13h54m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("power cycles table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure5And6Render(t *testing.T) {
+	w := &analysis.WeeklyProfiles{}
+	w.CPUIdlePct.Add(time.Date(2003, 10, 6, 12, 0, 0, 0, time.UTC), 97)
+	left, right := Figure5(w)
+	if !strings.Contains(left.String(), "CPU idle %") || !strings.Contains(right.String(), "received bps") {
+		t.Error("figure 5 legends missing")
+	}
+	eq := analysis.EquivalenceResult{OccupiedRatio: 0.26, FreeRatio: 0.25, TotalRatio: 0.51}
+	if out := Figure6(eq).String(); !strings.Contains(out, "0.26") || !strings.Contains(out, "0.51") {
+		t.Errorf("figure 6 missing ratios:\n%s", out)
+	}
+}
+
+func TestWeeklyCSV(t *testing.T) {
+	var p stats.WeeklyProfile
+	p.Add(time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC), 42)
+	var buf bytes.Buffer
+	if err := WeeklyCSV(&buf, []string{"v"}, &p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "slot,v\n0,42\n") {
+		t.Errorf("weekly csv head: %q", out[:min(40, len(out))])
+	}
+	if lines := strings.Count(out, "\n"); lines != stats.SlotsPerWeek+1 {
+		t.Errorf("csv lines = %d, want %d", lines, stats.SlotsPerWeek+1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+// Package report renders analysis results as ASCII tables, ASCII charts
+// and CSV — the reproduction's stand-in for the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple text table with right-aligned numeric cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "  %*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Series is one named data series for a chart.
+type Series struct {
+	Name   string
+	Values []float64
+	Mark   byte // plot glyph, e.g. '*' or '+'
+}
+
+// Chart is a rudimentary ASCII line chart: series are sampled down to the
+// chart width and drawn on a character grid with a y-axis scale. It is
+// deliberately simple — the point is to eyeball the *shape* of Figures 2–6
+// in a terminal; CSV export exists for real plotting.
+type Chart struct {
+	Title  string
+	Width  int
+	Height int
+	YMin   float64 // when YMin==YMax the range is auto-scaled
+	YMax   float64
+	XLabel string
+	Series []Series
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 110
+	}
+	if height <= 0 {
+		height = 18
+	}
+	lo, hi := c.YMin, c.YMax
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		for x := 0; x < width; x++ {
+			// Average the bucket of values mapping to this column.
+			loIdx := x * n / width
+			hiIdx := (x + 1) * n / width
+			if hiIdx <= loIdx {
+				hiIdx = loIdx + 1
+			}
+			if loIdx >= n {
+				break
+			}
+			if hiIdx > n {
+				hiIdx = n
+			}
+			sum := 0.0
+			for i := loIdx; i < hiIdx; i++ {
+				sum += s.Values[i]
+			}
+			v := sum / float64(hiIdx-loIdx)
+			y := int(float64(height-1) * (v - lo) / (hi - lo))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[height-1-y][x] = mark
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yVal := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(w, "%10.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width))
+	if c.XLabel != "" {
+		fmt.Fprintf(w, "%10s  %s\n", "", c.XLabel)
+	}
+	for _, s := range c.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		fmt.Fprintf(w, "%10s  %c = %s\n", "", mark, s.Name)
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes named columns as CSV. Shorter columns are padded with
+// empty cells.
+func WriteCSV(w io.Writer, names []string, cols ...[]float64) error {
+	if len(names) != len(cols) {
+		return fmt.Errorf("report: %d names for %d columns", len(names), len(cols))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	rows := 0
+	for _, c := range cols {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		cells := make([]string, len(cols))
+		for i, c := range cols {
+			if r < len(c) {
+				cells[i] = fmt.Sprintf("%g", c[r])
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

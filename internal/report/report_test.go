@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "23456")
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Numeric column is right-aligned: the short value ends at the same
+	// column as the long one.
+	if !strings.HasSuffix(lines[3], "1") || !strings.HasSuffix(lines[4], "23456") {
+		t.Errorf("alignment off:\n%s", out)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows have different widths:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tbl := &Table{Headers: []string{"A", "B", "C"}}
+	tbl.AddRow("only-one")
+	out := tbl.String()
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "Ramp",
+		Width:  20,
+		Height: 5,
+		Series: []Series{{Name: "ramp", Values: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}},
+		XLabel: "x",
+	}
+	out := c.String()
+	if !strings.Contains(out, "Ramp") || !strings.Contains(out, "ramp") || !strings.Contains(out, "x") {
+		t.Errorf("chart missing labels:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Monotone ramp: the mark in the first chart row (max) must be to the
+	// right of the mark in the last chart row (min).
+	first := strings.IndexByte(lines[1], '*')
+	last := strings.IndexByte(lines[5], '*')
+	if first <= last {
+		t.Errorf("ramp not increasing: first-row col %d, last-row col %d\n%s", first, last, out)
+	}
+}
+
+func TestChartFixedScale(t *testing.T) {
+	c := &Chart{
+		YMin: 0, YMax: 100, Width: 10, Height: 4,
+		Series: []Series{{Name: "s", Values: []float64{50, 50}, Mark: '+'}},
+	}
+	out := c.String()
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("fixed scale not honoured:\n%s", out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "empty"}}}
+	out := c.String() // must not panic
+	if out == "" {
+		t.Error("no output")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "const", Values: []float64{5, 5, 5}}}}
+	if !strings.Contains(c.String(), "*") {
+		t.Error("constant series has no marks")
+	}
+}
+
+func TestChartDownsamples(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i % 7)
+	}
+	c := &Chart{Width: 40, Height: 6, Series: []Series{{Name: "long", Values: vals}}}
+	out := c.String() // must terminate quickly and render 40 columns
+	lines := strings.Split(out, "\n")
+	for _, l := range lines[:6] {
+		if len(l) > 60 {
+			t.Errorf("row too wide: %d chars", len(l))
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"x", "y"}, []float64{1, 2, 3}, []float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "x,y\n1,4\n2,5\n3,\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"x"}, nil, nil); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	vals := make([]float64, 168)
+	for i := range vals {
+		vals[i] = float64(i % 24) // ramp within each day
+	}
+	h := &Heatmap{Title: "Demo heat", Values: vals}
+	out := h.String()
+	if !strings.Contains(out, "Demo heat") || !strings.Contains(out, "Mon") || !strings.Contains(out, "Sun") {
+		t.Errorf("heatmap missing labels:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Row for Monday: shade increases left to right.
+	var mon string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Mon") {
+			mon = l
+		}
+	}
+	if len(mon) < 28 {
+		t.Fatalf("monday row too short: %q", mon)
+	}
+	if mon[4] == mon[27] {
+		t.Errorf("no gradient in monday row: %q", mon)
+	}
+}
+
+func TestHeatmapFixedScaleAndShortValues(t *testing.T) {
+	h := &Heatmap{Values: []float64{0.5}, Lo: 0, Hi: 1}
+	out := h.String() // must not panic on short input
+	if !strings.Contains(out, "scale") {
+		t.Error("missing scale line")
+	}
+	flat := &Heatmap{Values: []float64{3, 3, 3}}
+	_ = flat.String() // degenerate range must not divide by zero
+}

@@ -1,0 +1,162 @@
+// Package sim implements the discrete-event simulation engine that drives
+// the fleet of simulated laboratory machines.
+//
+// The engine is deliberately minimal: a virtual clock, a binary-heap event
+// queue with stable FIFO ordering for simultaneous events, and helpers for
+// recurring events. Machines and the behaviour model schedule closures; the
+// DDC collector schedules its 15-minute probing iterations the same way.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled closure. The closure receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	At   time.Time
+	Name string // for tracing/debugging
+	Fn   func(*Engine)
+
+	seq int // tiebreaker: FIFO among simultaneous events
+	idx int // heap index, -1 when popped/cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.idx == -2 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator with a virtual clock.
+type Engine struct {
+	now    time.Time
+	queue  eventQueue
+	seq    int
+	fired  int64
+	tracer func(*Event)
+}
+
+// New creates an engine whose clock starts at start.
+func New(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// SetTracer installs a hook invoked before each event fires (nil disables).
+func (e *Engine) SetTracer(fn func(*Event)) { e.tracer = fn }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// indicates a model bug that would silently reorder causality.
+func (e *Engine) At(t time.Time, name string, fn func(*Engine)) *Event {
+	if t.Before(e.now) {
+		panic(fmt.Sprintf("sim: event %q scheduled at %s before now %s", name, t, e.now))
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d time.Duration, name string, fn func(*Engine)) *Event {
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Every schedules fn at start and then every period until (not including)
+// the first tick at or after end.
+func (e *Engine) Every(start time.Time, period time.Duration, end time.Time, name string, fn func(*Engine)) {
+	if period <= 0 {
+		panic("sim: Every needs a positive period")
+	}
+	var tick func(*Engine)
+	next := start
+	tick = func(en *Engine) {
+		fn(en)
+		next = next.Add(period)
+		if next.Before(end) {
+			en.At(next, name, tick)
+		}
+	}
+	if start.Before(end) {
+		e.At(start, name, tick)
+	}
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -2
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	if e.tracer != nil {
+		e.tracer(ev)
+	}
+	e.fired++
+	ev.Fn(e)
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is at or
+// after end; the clock is then advanced to end.
+func (e *Engine) RunUntil(end time.Time) {
+	for e.queue.Len() > 0 && e.queue[0].At.Before(end) {
+		e.Step()
+	}
+	if e.now.Before(end) {
+		e.now = end
+	}
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.queue.Len() }

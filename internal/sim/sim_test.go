@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2003, 10, 6, 0, 0, 0, 0, time.UTC)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(t0)
+	var order []string
+	e.At(t0.Add(2*time.Hour), "b", func(*Engine) { order = append(order, "b") })
+	e.At(t0.Add(1*time.Hour), "a", func(*Engine) { order = append(order, "a") })
+	e.At(t0.Add(3*time.Hour), "c", func(*Engine) { order = append(order, "c") })
+	e.Run()
+	if got := len(order); got != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(t0)
+	var order []int
+	at := t0.Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(at, "x", func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New(t0)
+	var seen time.Time
+	e.After(90*time.Minute, "tick", func(en *Engine) { seen = en.Now() })
+	e.Run()
+	if !seen.Equal(t0.Add(90 * time.Minute)) {
+		t.Errorf("Now() during event = %v", seen)
+	}
+	if !e.Now().Equal(t0.Add(90 * time.Minute)) {
+		t.Errorf("final Now() = %v", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(t0)
+	e.After(time.Hour, "x", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(t0, "past", func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := New(t0)
+	fired := false
+	ev := e.After(time.Hour, "x", func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("event does not report cancelled")
+	}
+	// Double cancel and nil cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New(t0)
+	var fired []string
+	a := e.After(1*time.Hour, "a", func(*Engine) { fired = append(fired, "a") })
+	e.After(2*time.Hour, "b", func(*Engine) { fired = append(fired, "b") })
+	e.After(3*time.Hour, "c", func(*Engine) { fired = append(fired, "c") })
+	e.Cancel(a)
+	e.Run()
+	if len(fired) != 2 || fired[0] != "b" || fired[1] != "c" {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestCancelFiredEventNoop(t *testing.T) {
+	e := New(t0)
+	var ev *Event
+	ev = e.After(time.Hour, "x", func(*Engine) {})
+	e.Run()
+	e.Cancel(ev) // must not panic or corrupt the (empty) heap
+	if e.Pending() != 0 {
+		t.Error("pending after run")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(t0)
+	var ticks []time.Time
+	end := t0.Add(61 * time.Minute)
+	e.Every(t0, 15*time.Minute, end, "tick", func(en *Engine) { ticks = append(ticks, en.Now()) })
+	e.Run()
+	if len(ticks) != 5 { // 0, 15, 30, 45, 60
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, tk := range ticks {
+		if want := t0.Add(time.Duration(i) * 15 * time.Minute); !tk.Equal(want) {
+			t.Errorf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestEveryEmptyRange(t *testing.T) {
+	e := New(t0)
+	count := 0
+	e.Every(t0.Add(time.Hour), time.Minute, t0.Add(time.Hour), "x", func(*Engine) { count++ })
+	e.Run()
+	if count != 0 {
+		t.Errorf("Every with start==end fired %d times", count)
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	e := New(t0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with zero period did not panic")
+		}
+	}()
+	e.Every(t0, 0, t0.Add(time.Hour), "x", func(*Engine) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(t0)
+	var fired []string
+	e.After(1*time.Hour, "a", func(*Engine) { fired = append(fired, "a") })
+	e.After(3*time.Hour, "b", func(*Engine) { fired = append(fired, "b") })
+	e.RunUntil(t0.Add(2 * time.Hour))
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Errorf("fired = %v", fired)
+	}
+	if !e.Now().Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("Now = %v, want clock advanced to end", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	// Continue to the remaining event.
+	e.RunUntil(t0.Add(4 * time.Hour))
+	if len(fired) != 2 {
+		t.Errorf("second RunUntil: fired = %v", fired)
+	}
+}
+
+func TestEventsCanSchedule(t *testing.T) {
+	e := New(t0)
+	depth := 0
+	var recurse func(*Engine)
+	recurse = func(en *Engine) {
+		depth++
+		if depth < 5 {
+			en.After(time.Minute, "r", recurse)
+		}
+	}
+	e.After(time.Minute, "r", recurse)
+	e.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d", depth)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	e := New(t0)
+	var names []string
+	e.SetTracer(func(ev *Event) { names = append(names, ev.Name) })
+	e.After(time.Minute, "one", func(*Engine) {})
+	e.After(2*time.Minute, "two", func(*Engine) {})
+	e.Run()
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Errorf("traced = %v", names)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New(t0)
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the descriptive statistics used throughout the
+// reproduction: streaming mean/variance (Welford), quantiles, histograms,
+// weekly time profiles and availability "nines".
+//
+// All accumulators are plain values with useful zero states so they can be
+// embedded in larger aggregation structures without constructors.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of float64 observations and reports count,
+// mean, variance and standard deviation using Welford's online algorithm,
+// which is numerically stable for long traces (583k+ samples).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddN feeds the same observation n times. It is used when collapsing
+// pre-aggregated buckets into a Running without replaying raw samples.
+func (r *Running) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	other := Running{n: n, mean: x, min: x, max: x}
+	*r = r.Merge(other)
+}
+
+// Merge combines two accumulators as if all their observations had been
+// added to a single one (Chan et al. parallel variance formula).
+func (r Running) Merge(o Running) Running {
+	if r.n == 0 {
+		return o
+	}
+	if o.n == 0 {
+		return r
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	return Running{
+		n:    n,
+		mean: mean,
+		m2:   m2,
+		min:  math.Min(r.min, o.min),
+		max:  math.Max(r.max, o.max),
+	}
+}
+
+// N returns the number of observations.
+func (r Running) N() int64 { return r.n }
+
+// Mean returns the arithmetic mean, or 0 for an empty accumulator.
+func (r Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance, or 0 for fewer than 2 observations.
+func (r Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVar returns the sample (Bessel-corrected) variance.
+func (r Running) SampleVar() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (r Running) StdDev() float64 { return math.Sqrt(r.Var()) }
+
+// SampleStdDev returns the sample standard deviation.
+func (r Running) SampleStdDev() float64 { return math.Sqrt(r.SampleVar()) }
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (r Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (r Running) Max() float64 { return r.max }
+
+// Sum returns the sum of all observations.
+func (r Running) Sum() float64 { return r.mean * float64(r.n) }
+
+// String renders the accumulator as "n=… mean=… sd=…" for debugging.
+func (r Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		r.n, r.Mean(), r.StdDev(), r.min, r.max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Nines converts an availability ratio in [0,1) to "nines":
+// -log10(1-ratio). A 0.9 ratio is 1 nine, 0.99 is 2 nines. Ratios ≥ 1 are
+// clamped to a large finite value so sorted plots stay finite.
+func Nines(ratio float64) float64 {
+	if ratio >= 1 {
+		return 9 // effectively "always up" for plotting purposes
+	}
+	if ratio <= 0 {
+		return 0
+	}
+	return -math.Log10(1 - ratio)
+}
+
+// Clamp bounds x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

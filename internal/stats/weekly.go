@@ -1,0 +1,89 @@
+package stats
+
+import "time"
+
+// SlotsPerWeek is the number of 15-minute slots in one week, the resolution
+// of the paper's weekly-distribution figures (Figures 5 and 6).
+const SlotsPerWeek = 7 * 24 * 4
+
+// SlotDuration is the width of one weekly-profile slot.
+const SlotDuration = 15 * time.Minute
+
+// WeeklyProfile accumulates observations keyed by their position within the
+// week (15-minute resolution, week starting Monday 00:00) and reports the
+// per-slot mean. It reproduces the aggregation behind the paper's weekly
+// distribution plots.
+type WeeklyProfile struct {
+	Slots [SlotsPerWeek]Running
+}
+
+// WeekSlot maps a time to its 15-minute slot index within the week.
+// Slot 0 is Monday 00:00–00:15, matching the paper's Monday-labelled x axes.
+func WeekSlot(t time.Time) int {
+	wd := int(t.Weekday()) // Sunday = 0
+	day := (wd + 6) % 7    // Monday = 0
+	return day*24*4 + t.Hour()*4 + t.Minute()/15
+}
+
+// SlotTime returns the offset from Monday 00:00 of the start of slot i.
+func SlotTime(i int) time.Duration {
+	return time.Duration(i) * SlotDuration
+}
+
+// Add records an observation at time t.
+func (w *WeeklyProfile) Add(t time.Time, x float64) {
+	w.Slots[WeekSlot(t)].Add(x)
+}
+
+// Means returns the per-slot means. Slots with no observations yield 0.
+func (w *WeeklyProfile) Means() []float64 {
+	out := make([]float64, SlotsPerWeek)
+	for i := range w.Slots {
+		out[i] = w.Slots[i].Mean()
+	}
+	return out
+}
+
+// MeanOfMeans averages the per-slot means across slots that received at
+// least one observation. This equal-weights every time-of-week slot, which
+// is how averages read off a weekly-distribution curve are computed.
+func (w *WeeklyProfile) MeanOfMeans() float64 {
+	var sum float64
+	var n int
+	for i := range w.Slots {
+		if w.Slots[i].N() > 0 {
+			sum += w.Slots[i].Mean()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Overall returns the accumulator over all raw observations regardless of
+// slot (sample-weighted rather than slot-weighted).
+func (w *WeeklyProfile) Overall() Running {
+	var r Running
+	for i := range w.Slots {
+		r = r.Merge(w.Slots[i])
+	}
+	return r
+}
+
+// DayHourMeans collapses the profile to 7×24 hourly means, a convenient
+// granularity for ASCII rendering.
+func (w *WeeklyProfile) DayHourMeans() [7][24]float64 {
+	var out [7][24]float64
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			var r Running
+			for q := 0; q < 4; q++ {
+				r = r.Merge(w.Slots[d*96+h*4+q])
+			}
+			out[d][h] = r.Mean()
+		}
+	}
+	return out
+}

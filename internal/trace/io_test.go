@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"winlab/internal/machine"
+)
+
+func snapshotFixture() machine.Snapshot {
+	return machine.Snapshot{
+		Time:         t0.Add(30 * time.Minute),
+		ID:           "L01-M07",
+		Lab:          "L01",
+		BootTime:     t0,
+		Uptime:       30 * time.Minute,
+		CPUIdle:      29 * time.Minute,
+		MemLoadPct:   59,
+		SwapLoadPct:  26,
+		DiskGB:       74.5,
+		FreeDiskGB:   54.25,
+		PowerCycles:  289,
+		PowerOnHours: 1931,
+		SentBytes:    12345,
+		RecvBytes:    67890,
+		SessionUser:  "u",
+		SessionStart: t0.Add(3 * time.Minute),
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDataset()
+	d.Samples = append(d.Samples, FromSnapshot(9, snapshotFixture()))
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(d.Start) || !got.End.Equal(d.End) || got.Period != d.Period {
+		t.Errorf("header mismatch: %v %v %v", got.Start, got.End, got.Period)
+	}
+	if len(got.Machines) != len(d.Machines) {
+		t.Fatalf("machines = %d", len(got.Machines))
+	}
+	for i := range d.Machines {
+		if got.Machines[i] != d.Machines[i] {
+			t.Errorf("machine %d: %+v != %+v", i, got.Machines[i], d.Machines[i])
+		}
+	}
+	if len(got.Iterations) != len(d.Iterations) {
+		t.Fatalf("iterations = %d", len(got.Iterations))
+	}
+	for i := range d.Iterations {
+		if got.Iterations[i].Iter != d.Iterations[i].Iter ||
+			!got.Iterations[i].Start.Equal(d.Iterations[i].Start) ||
+			got.Iterations[i].Attempted != d.Iterations[i].Attempted ||
+			got.Iterations[i].Responded != d.Iterations[i].Responded {
+			t.Errorf("iteration %d mismatch", i)
+		}
+	}
+	if len(got.Samples) != len(d.Samples) {
+		t.Fatalf("samples = %d, want %d", len(got.Samples), len(d.Samples))
+	}
+	a, b := d.Samples[len(d.Samples)-1], got.Samples[len(got.Samples)-1]
+	if a.Machine != b.Machine || !a.Time.Equal(b.Time) || !a.BootTime.Equal(b.BootTime) ||
+		a.Uptime != b.Uptime || a.MemLoadPct != b.MemLoadPct ||
+		a.PowerCycles != b.PowerCycles || a.SentBytes != b.SentBytes ||
+		a.SessionUser != b.SessionUser || !a.SessionStart.Equal(b.SessionStart) {
+		t.Errorf("sample mismatch:\n%+v\n%+v", a, b)
+	}
+	if d := b.CPUIdle - a.CPUIdle; d < -time.Second || d > time.Second {
+		t.Errorf("cpu idle drift: %v vs %v", a.CPUIdle, b.CPUIdle)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	d := newDataset()
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(d.Samples) {
+		t.Errorf("samples = %d", len(got.Samples))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no header":       "S,0,2003-10-06T08:00:00Z,M1,L01,2003-10-06T08:00:00Z,0,0,0,0,1,1,0,0,0,0,,\n",
+		"bad version":     "H,other-format,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\n",
+		"unknown type":    "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nZ,what\n",
+		"short sample":    "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nS,0,x\n",
+		"bad time":        "H,winlab-trace-1,yesterday,2003-10-07T08:00:00Z,900\n",
+		"bad machine ram": "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nM,M1,L01,lots,74.5,30.5,33.1\n",
+		"bad iter":        "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nI,first,2003-10-06T08:00:00Z,2,2\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripEmptyDataset(t *testing.T) {
+	d := &Dataset{Start: t0, End: t0.AddDate(0, 0, 7), Period: 15 * time.Minute}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 0 || len(got.Machines) != 0 || got.Period != d.Period {
+		t.Error("empty dataset round trip mismatch")
+	}
+}
+
+func TestSessionlessSampleRoundTrip(t *testing.T) {
+	d := &Dataset{Start: t0, End: t0.AddDate(0, 0, 1), Period: 15 * time.Minute}
+	d.Samples = append(d.Samples, mkSample("M1", t0.Add(15*time.Minute), t0, time.Minute, ""))
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Samples[0]
+	if s.HasSession() || !s.SessionStart.IsZero() {
+		t.Errorf("sessionless sample gained a session: %+v", s)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	d := newDataset()
+	plain := filepath.Join(t.TempDir(), "trace.csv")
+	gz := filepath.Join(t.TempDir(), "trace.csv.gz")
+	if err := WriteFile(plain, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(gz, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(d.Samples) || len(got.Machines) != len(d.Machines) {
+		t.Errorf("gzip round trip lost data")
+	}
+	pi, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := os.Stat(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Size() >= pi.Size() {
+		t.Errorf("gzip did not compress: %d >= %d", gi.Size(), pi.Size())
+	}
+}
+
+func TestGzipRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TimeSlice returns a new dataset containing only the iterations and
+// samples in [from, to). Machine metadata is kept in full. The paper-style
+// analyses run unchanged on a slice; the predictor uses slices for honest
+// train/test splits.
+func TimeSlice(d *Dataset, from, to time.Time) *Dataset {
+	out := &Dataset{
+		Start:    maxTime(d.Start, from),
+		End:      minTime(d.End, to),
+		Period:   d.Period,
+		Machines: append([]MachineInfo(nil), d.Machines...),
+	}
+	for _, it := range d.Iterations {
+		if !it.Start.Before(from) && it.Start.Before(to) {
+			out.Iterations = append(out.Iterations, it)
+		}
+	}
+	for i := range d.Samples {
+		s := d.Samples[i]
+		if !s.Time.Before(from) && s.Time.Before(to) {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// SplitAt partitions a dataset into [start, at) and [at, end) — the
+// one-call train/test split.
+func SplitAt(d *Dataset, at time.Time) (before, after *Dataset) {
+	return TimeSlice(d, d.Start, at), TimeSlice(d, at, d.End)
+}
+
+// Merge combines traces collected by different coordinators (e.g. one per
+// building) into one dataset. Periods must match; machine sets are
+// unioned (duplicate IDs must carry identical metadata); iterations are
+// renumbered chronologically, and samples are remapped onto the merged
+// iteration numbering.
+func Merge(ds ...*Dataset) (*Dataset, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	out := &Dataset{Period: ds[0].Period, Start: ds[0].Start, End: ds[0].End}
+	seen := map[string]MachineInfo{}
+	type iterKey struct {
+		src  int
+		iter int
+	}
+	var allIters []struct {
+		key iterKey
+		it  Iteration
+	}
+	for i, d := range ds {
+		if d.Period != out.Period {
+			return nil, fmt.Errorf("trace: merge with mismatched periods %v and %v", out.Period, d.Period)
+		}
+		out.Start = minTime(out.Start, d.Start)
+		out.End = maxTime(out.End, d.End)
+		for _, m := range d.Machines {
+			if prev, ok := seen[m.ID]; ok {
+				if prev != m {
+					return nil, fmt.Errorf("trace: machine %s has conflicting metadata", m.ID)
+				}
+				continue
+			}
+			seen[m.ID] = m
+			out.Machines = append(out.Machines, m)
+		}
+		for _, it := range d.Iterations {
+			allIters = append(allIters, struct {
+				key iterKey
+				it  Iteration
+			}{iterKey{i, it.Iter}, it})
+		}
+	}
+	sort.SliceStable(allIters, func(a, b int) bool {
+		return allIters[a].it.Start.Before(allIters[b].it.Start)
+	})
+	remap := map[iterKey]int{}
+	for n, e := range allIters {
+		it := e.it
+		it.Iter = n
+		remap[e.key] = n
+		out.Iterations = append(out.Iterations, it)
+	}
+	for i, d := range ds {
+		for j := range d.Samples {
+			s := d.Samples[j]
+			if n, ok := remap[iterKey{i, s.Iter}]; ok {
+				s.Iter = n
+			}
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	out.SortSamples()
+	return out, nil
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeSlice(t *testing.T) {
+	d := newDataset()
+	from := t0.Add(20 * time.Minute)
+	to := t0.Add(3 * time.Hour)
+	s := TimeSlice(d, from, to)
+	if !s.Start.Equal(from) || !s.End.Equal(to) {
+		t.Errorf("bounds: %v..%v", s.Start, s.End)
+	}
+	for i := range s.Samples {
+		at := s.Samples[i].Time
+		if at.Before(from) || !at.Before(to) {
+			t.Fatalf("sample at %v outside slice", at)
+		}
+	}
+	if len(s.Machines) != len(d.Machines) {
+		t.Error("machine metadata dropped")
+	}
+	// Original untouched.
+	if len(d.Samples) != 6 {
+		t.Errorf("source mutated: %d samples", len(d.Samples))
+	}
+	// Samples: M1@30m, M1@45m, M1@135m, M2: none in range except... M2@15m
+	// is before from; M2@5h after to. M1@15m before from.
+	if len(s.Samples) != 3 {
+		t.Errorf("sliced samples = %d, want 3", len(s.Samples))
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	d := newDataset()
+	at := t0.Add(time.Hour)
+	before, after := SplitAt(d, at)
+	if len(before.Samples)+len(after.Samples) != len(d.Samples) {
+		t.Errorf("split lost samples: %d + %d != %d",
+			len(before.Samples), len(after.Samples), len(d.Samples))
+	}
+	for i := range before.Samples {
+		if !before.Samples[i].Time.Before(at) {
+			t.Fatal("before-half contains late sample")
+		}
+	}
+	for i := range after.Samples {
+		if after.Samples[i].Time.Before(at) {
+			t.Fatal("after-half contains early sample")
+		}
+	}
+}
+
+func TestMergeDisjointMachines(t *testing.T) {
+	a := &Dataset{
+		Start: t0, End: t0.AddDate(0, 0, 1), Period: 15 * time.Minute,
+		Machines: []MachineInfo{{ID: "A1", Lab: "LA", IntIndex: 10, FPIndex: 10}},
+	}
+	b := &Dataset{
+		Start: t0, End: t0.AddDate(0, 0, 1), Period: 15 * time.Minute,
+		Machines: []MachineInfo{{ID: "B1", Lab: "LB", IntIndex: 20, FPIndex: 20}},
+	}
+	// Interleaved iterations: a at :00/:30, b at :15/:45.
+	for i := 0; i < 4; i++ {
+		at := t0.Add(time.Duration(i) * 30 * time.Minute)
+		a.Iterations = append(a.Iterations, Iteration{Iter: i, Start: at, Attempted: 1, Responded: 1})
+		a.Samples = append(a.Samples, mkSample("A1", at, t0, 0, ""))
+		a.Samples[len(a.Samples)-1].Iter = i
+		bt := at.Add(15 * time.Minute)
+		b.Iterations = append(b.Iterations, Iteration{Iter: i, Start: bt, Attempted: 1, Responded: 1})
+		b.Samples = append(b.Samples, mkSample("B1", bt, t0, 0, ""))
+		b.Samples[len(b.Samples)-1].Iter = i
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Machines) != 2 || len(m.Iterations) != 8 || len(m.Samples) != 8 {
+		t.Fatalf("merged: %d machines, %d iterations, %d samples",
+			len(m.Machines), len(m.Iterations), len(m.Samples))
+	}
+	// Iterations renumbered chronologically.
+	for i := 1; i < len(m.Iterations); i++ {
+		if m.Iterations[i].Iter != i || m.Iterations[i].Start.Before(m.Iterations[i-1].Start) {
+			t.Fatalf("iteration order broken at %d", i)
+		}
+	}
+	// Samples remapped onto merged numbering: each sample's iteration must
+	// carry its own timestamp.
+	iterStart := map[int]time.Time{}
+	for _, it := range m.Iterations {
+		iterStart[it.Iter] = it.Start
+	}
+	for i := range m.Samples {
+		s := &m.Samples[i]
+		if !iterStart[s.Iter].Equal(s.Time) {
+			t.Fatalf("sample %s@%v mapped to iteration starting %v", s.Machine, s.Time, iterStart[s.Iter])
+		}
+	}
+}
+
+func TestMergeSharedMachineConflict(t *testing.T) {
+	a := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 512}}}
+	b := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 256}}}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("conflicting metadata accepted")
+	}
+	c := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 512}}}
+	if m, err := Merge(a, c); err != nil || len(m.Machines) != 1 {
+		t.Errorf("identical shared machine rejected: %v", err)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	a := &Dataset{Period: time.Minute}
+	b := &Dataset{Period: 2 * time.Minute}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("mismatched periods accepted")
+	}
+}

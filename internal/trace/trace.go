@@ -1,0 +1,230 @@
+// Package trace defines the monitoring trace: the samples the collector
+// gathered, per-iteration bookkeeping, and the derived "interval"
+// observations (CPU idleness and network rates between two consecutive
+// samples of the same boot) that the paper's Table 2 is computed from.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"winlab/internal/machine"
+)
+
+// Sample is one successful probe of one machine — the post-collected form
+// of a W32Probe report.
+type Sample struct {
+	Iter    int // collector iteration number (0-based)
+	Time    time.Time
+	Machine string
+	Lab     string
+
+	BootTime     time.Time
+	Uptime       time.Duration
+	CPUIdle      time.Duration // cumulative since boot
+	MemLoadPct   int
+	SwapLoadPct  int
+	DiskGB       float64
+	FreeDiskGB   float64
+	PowerCycles  int64
+	PowerOnHours int64
+	SentBytes    uint64
+	RecvBytes    uint64
+
+	SessionUser  string
+	SessionStart time.Time
+}
+
+// HasSession reports whether an interactive user was logged in.
+func (s *Sample) HasSession() bool { return s.SessionUser != "" }
+
+// SessionAge returns the age of the interactive session at sample time.
+func (s *Sample) SessionAge() time.Duration {
+	if !s.HasSession() {
+		return 0
+	}
+	return s.Time.Sub(s.SessionStart)
+}
+
+// UsedDiskGB returns the occupied disk space.
+func (s *Sample) UsedDiskGB() float64 { return s.DiskGB - s.FreeDiskGB }
+
+// FromSnapshot converts a parsed probe report into a sample.
+func FromSnapshot(iter int, sn machine.Snapshot) Sample {
+	return Sample{
+		Iter:         iter,
+		Time:         sn.Time,
+		Machine:      sn.ID,
+		Lab:          sn.Lab,
+		BootTime:     sn.BootTime,
+		Uptime:       sn.Uptime,
+		CPUIdle:      sn.CPUIdle,
+		MemLoadPct:   sn.MemLoadPct,
+		SwapLoadPct:  sn.SwapLoadPct,
+		DiskGB:       sn.DiskGB,
+		FreeDiskGB:   sn.FreeDiskGB,
+		PowerCycles:  sn.PowerCycles,
+		PowerOnHours: sn.PowerOnHours,
+		SentBytes:    sn.SentBytes,
+		RecvBytes:    sn.RecvBytes,
+		SessionUser:  sn.SessionUser,
+		SessionStart: sn.SessionStart,
+	}
+}
+
+// Iteration records one collector pass over the fleet.
+type Iteration struct {
+	Iter      int
+	Start     time.Time
+	Attempted int
+	Responded int
+}
+
+// MachineInfo is the static per-machine metadata the analysis needs
+// (performance indexes for the equivalence ratio, hardware for grouping).
+type MachineInfo struct {
+	ID       string
+	Lab      string
+	RAMMB    int
+	DiskGB   float64
+	IntIndex float64
+	FPIndex  float64
+}
+
+// PerfIndex returns the 50/50 combined NBench index.
+func (m MachineInfo) PerfIndex() float64 { return 0.5*m.IntIndex + 0.5*m.FPIndex }
+
+// Dataset is a complete monitoring trace.
+type Dataset struct {
+	Start, End time.Time
+	Period     time.Duration
+	Machines   []MachineInfo
+	Iterations []Iteration
+	Samples    []Sample
+}
+
+// MachineByID returns the metadata for one machine, or nil.
+func (d *Dataset) MachineByID(id string) *MachineInfo {
+	for i := range d.Machines {
+		if d.Machines[i].ID == id {
+			return &d.Machines[i]
+		}
+	}
+	return nil
+}
+
+// Attempts returns the total number of probe attempts.
+func (d *Dataset) Attempts() int {
+	n := 0
+	for _, it := range d.Iterations {
+		n += it.Attempted
+	}
+	return n
+}
+
+// Days returns the experiment length in (fractional) days.
+func (d *Dataset) Days() float64 {
+	return d.End.Sub(d.Start).Hours() / 24
+}
+
+// SortSamples orders samples by machine then time, the order the pairing
+// and session-detection passes require. Collectors append in iteration
+// order, so this is typically a near-sorted input.
+func (d *Dataset) SortSamples() {
+	sort.SliceStable(d.Samples, func(i, j int) bool {
+		a, b := &d.Samples[i], &d.Samples[j]
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Time.Before(b.Time)
+	})
+}
+
+// ByMachine groups the (sorted) samples per machine, preserving time order.
+// It sorts the dataset if needed.
+func (d *Dataset) ByMachine() map[string][]*Sample {
+	d.SortSamples()
+	out := make(map[string][]*Sample, len(d.Machines))
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		out[s.Machine] = append(out[s.Machine], s)
+	}
+	return out
+}
+
+// Interval is a pair of consecutive samples of the same machine within the
+// same boot (no reboot in between). The paper computes CPU idleness and
+// network rates over such intervals (§4.2): cumulative counters make the
+// averages exact regardless of fluctuations inside the interval.
+type Interval struct {
+	A, B *Sample
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.B.Time.Sub(iv.A.Time) }
+
+// CPUIdlePct returns the average CPU idleness percentage over the interval.
+func (iv Interval) CPUIdlePct() float64 {
+	dt := iv.Duration()
+	if dt <= 0 {
+		return 0
+	}
+	p := 100 * float64(iv.B.CPUIdle-iv.A.CPUIdle) / float64(dt)
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+// SentBps and RecvBps return the average network rates over the interval in
+// bits per second.
+func (iv Interval) SentBps() float64 {
+	return counterBps(iv.A.SentBytes, iv.B.SentBytes, iv.Duration())
+}
+
+// RecvBps returns the average receive rate over the interval in bps.
+func (iv Interval) RecvBps() float64 {
+	return counterBps(iv.A.RecvBytes, iv.B.RecvBytes, iv.Duration())
+}
+
+func counterBps(a, b uint64, dt time.Duration) float64 {
+	if dt <= 0 || b < a {
+		return 0
+	}
+	return float64(b-a) * 8 / dt.Seconds()
+}
+
+// SameBoot reports whether two samples belong to the same machine session.
+// Boot timestamps within one second are considered equal (the probe prints
+// whole seconds).
+func SameBoot(a, b *Sample) bool {
+	d := b.BootTime.Sub(a.BootTime)
+	if d < 0 {
+		d = -d
+	}
+	return d <= time.Second
+}
+
+// Intervals extracts all consecutive same-boot sample pairs, per machine.
+// maxGap drops pairs separated by more than that duration (collector
+// outages would otherwise create misleadingly long intervals); a zero
+// maxGap keeps everything.
+func (d *Dataset) Intervals(maxGap time.Duration) []Interval {
+	var out []Interval
+	for _, ss := range d.ByMachine() {
+		for i := 1; i < len(ss); i++ {
+			a, b := ss[i-1], ss[i]
+			if !SameBoot(a, b) {
+				continue
+			}
+			if maxGap > 0 && b.Time.Sub(a.Time) > maxGap {
+				continue
+			}
+			out = append(out, Interval{A: a, B: b})
+		}
+	}
+	return out
+}
