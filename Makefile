@@ -1,0 +1,20 @@
+# Tier-1 verification and developer shortcuts.
+
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: vet plus the full suite under the race
+# detector (the concurrent WallCollector paths are exercised by it).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem

@@ -7,15 +7,23 @@
 // collection advances the simulated fleet by -accel seconds, so a few
 // seconds of wall clock cover days of simulated monitoring.
 //
+// The hardened-collector knobs are exposed as flags: -retries/-probe-timeout
+// enable bounded retries with a per-probe deadline, -breaker-k/-breaker-every
+// configure the per-machine circuit breaker, and -failp injects seeded
+// transient probe failures so the retry machinery can be watched working.
+//
 // Usage:
 //
 //	ddcd [-machines 8] [-iters 20] [-period 100ms] [-accel 9000]
+//	     [-workers 1] [-retries 0] [-probe-timeout 0] [-failp 0]
+//	     [-breaker-k 0] [-breaker-every 4]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,11 +69,17 @@ func (wf *warpedFleet) Snapshot(id string, _ time.Time) (machine.Snapshot, bool)
 
 func main() {
 	var (
-		nMach  = flag.Int("machines", 8, "number of simulated machines (one lab)")
-		iters  = flag.Int("iters", 20, "collector iterations")
-		period = flag.Duration("period", 100*time.Millisecond, "wall-clock collection period")
-		accel  = flag.Float64("accel", 9000, "simulated seconds per wall second")
-		seed   = flag.Int64("seed", 1, "seed")
+		nMach    = flag.Int("machines", 8, "number of simulated machines (one lab)")
+		iters    = flag.Int("iters", 20, "collector iterations")
+		period   = flag.Duration("period", 100*time.Millisecond, "wall-clock collection period")
+		accel    = flag.Float64("accel", 9000, "simulated seconds per wall second")
+		seed     = flag.Int64("seed", 1, "seed")
+		workers  = flag.Int("workers", 1, "concurrent probes per iteration")
+		retries  = flag.Int("retries", 0, "extra probe attempts per machine per iteration")
+		ptimeout = flag.Duration("probe-timeout", 0, "per-probe deadline (0 = executor default)")
+		failp    = flag.Float64("failp", 0, "injected transient probe-failure probability")
+		breakerK = flag.Int("breaker-k", 0, "consecutive failures that open the circuit breaker (0 = off)")
+		breakerN = flag.Int("breaker-every", 4, "open-breaker probe cadence in iterations")
 	)
 	flag.Parse()
 
@@ -114,10 +128,23 @@ func main() {
 	simPeriod := time.Duration(float64(*period) * *accel)
 	simSpan := time.Duration(*iters) * simPeriod
 	sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos)
+
+	// Optional fault injection between the coordinator and the TCP path,
+	// so the retry/breaker machinery can be demonstrated deterministically.
+	var collExec ddc.Executor = exec
+	var faults *ddc.FaultExecutor
+	if *failp > 0 {
+		faults = &ddc.FaultExecutor{Inner: exec, TransientFailP: *failp, Seed: *seed}
+		collExec = faults
+	}
 	coll := &ddc.WallCollector{
-		Cfg:  ddc.Config{Machines: ids, Period: *period},
-		Exec: exec,
-		Post: sink.Post,
+		Cfg:          ddc.Config{Machines: ids, Period: *period},
+		Exec:         collExec,
+		Post:         sink.Post,
+		Workers:      *workers,
+		ProbeTimeout: *ptimeout,
+		Retry:        ddc.RetryPolicy{MaxAttempts: 1 + *retries, Jitter: 0.5, Seed: *seed},
+		Breaker:      ddc.BreakerPolicy{FailThreshold: *breakerK, ProbeEvery: *breakerN},
 	}
 	coll.OnIteration = sink.OnIteration
 
@@ -133,6 +160,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddcd: corrupt probe output:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "ddcd: %d attempts, %d samples\n", stats.Attempts, stats.Samples)
+	fmt.Fprintf(os.Stderr, "ddcd: %d attempts, %d samples, %d retries, %d breaker skips (%d opens)\n",
+		stats.Attempts, stats.Samples, stats.Retries, stats.BreakerSkipped, stats.BreakerOpens)
+	if faults != nil {
+		fs := faults.Stats()
+		fmt.Fprintf(os.Stderr, "ddcd: injected %d transient failures over %d probe attempts\n",
+			fs.Transients, fs.Calls)
+	}
+	if down := unhealthyMachines(stats); len(down) > 0 {
+		fmt.Fprintf(os.Stderr, "ddcd: machines with open breaker or consecutive failures: %v\n", down)
+	}
 	report.Table2(analysis.MainResults(ds, analysis.DefaultForgottenThreshold)).Render(os.Stdout)
+}
+
+// unhealthyMachines lists machines the collector currently distrusts, in
+// ID order.
+func unhealthyMachines(st ddc.Stats) []string {
+	var out []string
+	for id, h := range st.Machines {
+		if h.BreakerOpen || h.ConsecFails > 0 {
+			out = append(out, fmt.Sprintf("%s(fails=%d open=%v)", id, h.ConsecFails, h.BreakerOpen))
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -112,8 +112,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "labmon:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "labmon: %d iterations, %d samples collected in %s\n",
-		res.Collector.Iterations, res.Collector.Samples, time.Since(start).Round(time.Millisecond))
+	c := res.Collector
+	fmt.Fprintf(os.Stderr, "labmon: %d iterations (%d lost to outages), %d probe attempts, %d samples collected in %s\n",
+		c.Iterations, c.Skipped, c.Attempts, c.Samples, time.Since(start).Round(time.Millisecond))
+	if c.Retries > 0 || c.BreakerSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "labmon: collector health: %d retries, %d breaker skips (%d opens)\n",
+			c.Retries, c.BreakerSkipped, c.BreakerOpens)
+	}
 
 	if *traceOut != "" {
 		if err := trace.WriteFile(*traceOut, res.Dataset); err != nil {

@@ -4,10 +4,17 @@
 // collector uses, parses the W32Probe reports at the coordinator side and
 // prints what it learned.
 //
-//	go run ./examples/tcpcollect
+// The hardened-collector knobs are demonstrable from the command line:
+// -failp injects seeded transient probe failures between the coordinator
+// and the TCP transport, and -retries gives the collector a retry budget
+// to absorb them. Compare:
+//
+//	go run ./examples/tcpcollect -failp 0.2            # paper-style: losses
+//	go run ./examples/tcpcollect -failp 0.2 -retries 2 # hardened: recovered
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -46,13 +53,20 @@ func (a *acceleratedFleet) Snapshot(id string, _ time.Time) (machine.Snapshot, b
 }
 
 func main() {
+	var (
+		failp   = flag.Float64("failp", 0, "injected transient probe-failure probability")
+		retries = flag.Int("retries", 0, "extra probe attempts per machine per round")
+		seed    = flag.Int64("seed", 5, "seed (fleet and fault injection)")
+	)
+	flag.Parse()
+
 	const accel = 6000 // one wall second = 100 simulated minutes
 
 	specs := lab.PaperCatalog()[:2] // two labs, 32 machines
-	fleet := lab.Build(specs, 5, lab.DefaultDiskLife())
-	start := core.DefaultConfig(5).Start.Add(9 * time.Hour) // Monday 09:00
+	fleet := lab.Build(specs, *seed, lab.DefaultDiskLife())
+	start := core.DefaultConfig(*seed).Start.Add(9 * time.Hour) // Monday 09:00
 	eng := sim.New(start)
-	behavior.NewModel(behavior.DefaultConfig(5), fleet).Install(eng, start, start.AddDate(0, 0, 30))
+	behavior.NewModel(behavior.DefaultConfig(*seed), fleet).Install(eng, start, start.AddDate(0, 0, 30))
 
 	af := &acceleratedFleet{eng: eng, fleet: fleet, base: time.Now(), start: start, accel: accel}
 
@@ -65,33 +79,57 @@ func main() {
 	}
 	defer agent.Close()
 
-	exec := ddc.NewTCPExecutor()
+	tcp := ddc.NewTCPExecutor()
+	var ids []string
 	for _, m := range fleet.Machines {
-		exec.Register(m.ID, addr)
+		tcp.Register(m.ID, addr)
+		ids = append(ids, m.ID)
+	}
+
+	// Optionally wrap the transport in deterministic fault injection, the
+	// same wrapper the retry-policy tests use.
+	var exec ddc.Executor = tcp
+	var faults *ddc.FaultExecutor
+	if *failp > 0 {
+		faults = &ddc.FaultExecutor{Inner: tcp, TransientFailP: *failp, Seed: *seed}
+		exec = faults
 	}
 
 	// Probe every machine three times, 150 ms (= 15 simulated minutes)
-	// apart, and report what came back.
-	for round := 0; round < 3; round++ {
-		up, down, withUser := 0, 0, 0
-		for _, m := range fleet.Machines {
-			out, err := exec.Exec(m.ID)
-			if err != nil {
-				down++
-				continue
-			}
-			sn, err := probe.Parse(out)
-			if err != nil {
-				log.Fatalf("bad report from %s: %v", m.ID, err)
-			}
-			up++
-			if sn.HasSession() {
-				withUser++
-			}
+	// apart, through the hardened collector loop, and report what came
+	// back round by round.
+	coll := &ddc.WallCollector{
+		Cfg:   ddc.Config{Machines: ids, Period: 150 * time.Millisecond},
+		Exec:  exec,
+		Retry: ddc.RetryPolicy{MaxAttempts: 1 + *retries, BaseBackoff: 5 * time.Millisecond, Jitter: 0.5, Seed: *seed},
+	}
+	withUser := 0
+	coll.Post = func(iter int, id string, out []byte, err error) {
+		if err != nil {
+			return
 		}
-		fmt.Printf("round %d: %2d up (%2d with user), %2d unreachable\n",
-			round+1, up, withUser, down)
-		time.Sleep(150 * time.Millisecond)
+		sn, perr := probe.Parse(out)
+		if perr != nil {
+			log.Fatalf("bad report from %s: %v", id, perr)
+		}
+		if sn.HasSession() {
+			withUser++
+		}
+	}
+	coll.OnIteration = func(info ddc.IterationInfo) {
+		fmt.Printf("round %d: %2d up (%2d with user), %2d unreachable, %d probes (%d retries)\n",
+			info.Iter+1, info.Responded, withUser, info.Attempted-info.Responded,
+			info.Probes, info.Retries)
+		withUser = 0
+	}
+	st, err := coll.Run(3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if faults != nil {
+		fs := faults.Stats()
+		fmt.Printf("\nfault injection: %d transient failures over %d probe attempts; "+
+			"collector recovered %d via retries\n", fs.Transients, fs.Calls, st.Retries)
 	}
 	fmt.Println("\nthe same Executor interface drives ddc.WallCollector and ddc.SimCollector;")
 	fmt.Println("see cmd/ddcd for the full coordinator loop over TCP.")

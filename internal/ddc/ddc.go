@@ -10,6 +10,7 @@
 package ddc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -19,16 +20,63 @@ import (
 // not respond — powered off, or the remote-execution timed out.
 var ErrUnreachable = errors.New("ddc: machine unreachable")
 
+// ErrBreakerOpen is reported to the post-collect hook for machines the
+// collector skipped because their circuit breaker is open. It wraps
+// ErrUnreachable so existing error handling keeps treating the machine as
+// down.
+var ErrBreakerOpen = fmt.Errorf("%w: breaker open, probe skipped", ErrUnreachable)
+
 // Executor runs the probe binary on a remote machine and returns its
 // standard output.
 type Executor interface {
 	Exec(machineID string) (stdout []byte, err error)
 }
 
+// ContextExecutor is an Executor whose probes honour context cancellation
+// and deadlines — the context-aware variant the hardened collector uses to
+// enforce per-probe deadlines. Executors that do not implement it are
+// driven through plain Exec and cannot be cancelled mid-probe.
+type ContextExecutor interface {
+	Executor
+	ExecContext(ctx context.Context, machineID string) (stdout []byte, err error)
+}
+
+// execProbe runs one probe through e, using the context-aware path when
+// the executor supports it.
+func execProbe(ctx context.Context, e Executor, machineID string) ([]byte, error) {
+	if ce, ok := e.(ContextExecutor); ok {
+		return ce.ExecContext(ctx, machineID)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
+	}
+	return e.Exec(machineID)
+}
+
 // PostCollect is the coordinator-side hook run after every probe attempt,
 // successful or not — the paper's "post-collecting code". stdout is nil
 // when err is non-nil.
 type PostCollect func(iter int, machineID string, stdout []byte, err error)
+
+// IterationInfo describes one finished collector iteration, including the
+// collection-health counters accumulated while running it. Attempted and
+// Responded mirror the paper's per-iteration bookkeeping; the remaining
+// fields expose the hardened collector's retry/breaker machinery (always
+// zero for SimCollector, which models the paper's retry-free coordinator).
+type IterationInfo struct {
+	Iter      int
+	Start     time.Time
+	Attempted int // machines scheduled this iteration
+	Responded int // machines that yielded a report
+
+	Probes         int // probe executions, including retries
+	Retries        int // probe executions beyond each machine's first try
+	BreakerSkipped int // machines skipped because their breaker was open
+	BreakerOpen    int // machines whose breaker is open after the iteration
+}
+
+// IterationFunc is the per-iteration hook shared by both collectors.
+type IterationFunc func(info IterationInfo)
 
 // Config configures a collector run.
 type Config struct {
@@ -61,8 +109,27 @@ func (o Outage) Contains(t time.Time) bool {
 type Stats struct {
 	Iterations int
 	Skipped    int // iterations lost to coordinator outages
-	Attempts   int
+	Attempts   int // probe executions, including retries
 	Samples    int
+
+	// Collection-health counters (populated by WallCollector; SimCollector
+	// models the paper's retry-free coordinator and leaves them zero).
+	Retries        int // probe executions beyond each machine's first try
+	BreakerSkipped int // machine-iterations skipped by an open breaker
+	BreakerOpens   int // closed→open breaker transitions
+
+	// Machines holds per-machine health at the end of the run, keyed by
+	// machine ID. Nil when the collector tracks no per-machine health.
+	Machines map[string]MachineHealth
+}
+
+// MachineHealth is the per-machine view of collection health.
+type MachineHealth struct {
+	Attempts    int  // probe executions against this machine, incl. retries
+	Retries     int  // executions beyond the first try of each iteration
+	Failures    int  // iterations whose probe (after retries) failed
+	ConsecFails int  // current consecutive failed iterations
+	BreakerOpen bool // breaker currently open
 }
 
 // Validate checks a configuration for the mistakes that otherwise surface

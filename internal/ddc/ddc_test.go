@@ -85,10 +85,13 @@ func TestSimCollectorIterates(t *testing.T) {
 		},
 	}
 	var iterDone int
-	coll.OnIteration = func(iter int, start time.Time, attempted, responded int) {
+	coll.OnIteration = func(info IterationInfo) {
 		iterDone++
-		if attempted != 3 || responded != 2 {
-			t.Errorf("iteration %d: attempted=%d responded=%d", iter, attempted, responded)
+		if info.Attempted != 3 || info.Responded != 2 {
+			t.Errorf("iteration %d: attempted=%d responded=%d", info.Iter, info.Attempted, info.Responded)
+		}
+		if info.Probes != 3 || info.Retries != 0 {
+			t.Errorf("iteration %d: probes=%d retries=%d", info.Iter, info.Probes, info.Retries)
 		}
 	}
 	end := t0.Add(46 * time.Minute) // iterations at 0, 15, 30, 45
@@ -221,7 +224,7 @@ func TestDatasetSink(t *testing.T) {
 	sink.Post(0, "M1", probe.Render(sn), nil)
 	sink.Post(0, "M2", nil, ErrUnreachable) // failures produce no sample
 	sink.Post(0, "M3", []byte("garbage"), nil)
-	sink.OnIteration(0, t0, 3, 1)
+	sink.OnIteration(IterationInfo{Iter: 0, Start: t0, Attempted: 3, Responded: 1})
 
 	ds, err := sink.Dataset()
 	if err == nil {

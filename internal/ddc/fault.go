@@ -1,0 +1,106 @@
+package ddc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+// FaultExecutor wraps an Executor with deterministic, seeded fault
+// injection: transient probe failures, latency spikes, permanently slow
+// agents, and hard-down machines. It exists so the collector's
+// retry/backoff/breaker policies are testable without a flaky network —
+// the same experiment seed always injects the same fault sequence (probe
+// order permitting; with Workers ≤ 1 the sequence is fully reproducible).
+type FaultExecutor struct {
+	Inner Executor
+
+	// TransientFailP is the per-attempt probability of injecting a
+	// transient ErrUnreachable instead of executing the probe.
+	TransientFailP float64
+	// LatencySpikeP is the per-attempt probability of sleeping
+	// SpikeLatency before the probe runs (a congested or GC-pausing
+	// agent). Spikes honour context cancellation.
+	LatencySpikeP float64
+	SpikeLatency  time.Duration
+	// SlowMachines adds a fixed latency to every probe of the listed
+	// machines — the chronically slow agent the per-probe deadline is
+	// meant to bound.
+	SlowMachines map[string]time.Duration
+	// DownMachines are hard-down: every probe fails with ErrUnreachable.
+	// This is the breaker's target scenario.
+	DownMachines map[string]bool
+	// Seed seeds the injection stream.
+	Seed int64
+
+	mu    sync.Mutex
+	src   *rng.Source
+	stats FaultStats
+}
+
+// FaultStats counts what the wrapper injected.
+type FaultStats struct {
+	Calls      int // probe attempts seen
+	Transients int // injected transient failures
+	Spikes     int // injected latency spikes
+	DownDenied int // probes denied because the machine is hard-down
+}
+
+// Stats returns a snapshot of the injection counters.
+func (f *FaultExecutor) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// decide draws the fault plan for one attempt under the mutex, so
+// concurrent probes see a serialised, seed-deterministic stream.
+func (f *FaultExecutor) decide(machineID string) (transient bool, delay time.Duration, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.src == nil {
+		f.src = rng.Derive(f.Seed, "ddc-fault")
+	}
+	f.stats.Calls++
+	if f.DownMachines[machineID] {
+		f.stats.DownDenied++
+		return false, 0, true
+	}
+	if f.TransientFailP > 0 && f.src.Float64() < f.TransientFailP {
+		f.stats.Transients++
+		return true, 0, false
+	}
+	if f.LatencySpikeP > 0 && f.src.Float64() < f.LatencySpikeP {
+		f.stats.Spikes++
+		delay += f.SpikeLatency
+	}
+	delay += f.SlowMachines[machineID]
+	return false, delay, false
+}
+
+// Exec implements Executor.
+func (f *FaultExecutor) Exec(machineID string) ([]byte, error) {
+	return f.ExecContext(context.Background(), machineID)
+}
+
+// ExecContext implements ContextExecutor. Injected delays respect ctx; a
+// cancelled delay returns ErrUnreachable, exactly like a timed-out probe.
+func (f *FaultExecutor) ExecContext(ctx context.Context, machineID string) ([]byte, error) {
+	transient, delay, down := f.decide(machineID)
+	if down {
+		return nil, fmt.Errorf("%w: %s: injected hard-down", ErrUnreachable, machineID)
+	}
+	if transient {
+		return nil, fmt.Errorf("%w: %s: injected transient failure", ErrUnreachable, machineID)
+	}
+	if delay > 0 {
+		sleepCtx(ctx, delay)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
+		}
+	}
+	return execProbe(ctx, f.Inner, machineID)
+}

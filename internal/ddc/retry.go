@@ -1,0 +1,157 @@
+package ddc
+
+import (
+	"context"
+	"time"
+
+	"winlab/internal/rng"
+)
+
+// This file implements the collector-hardening policies motivated by the
+// paper's own data loss: 509 of 7,392 possible iterations were lost to
+// outages, and every probe timeout was booked as a powered-off machine
+// (§3). Operational fleet traces show transient probe failure is the
+// dominant noise source in availability data, so the hardened collector
+// retries transient failures with exponential backoff + jitter, and stops
+// hammering machines that are hard-down via a per-machine circuit breaker.
+
+// RetryPolicy bounds the re-execution of failed probes within a single
+// iteration. The zero value disables retries (one attempt per machine per
+// iteration — the paper's behaviour).
+type RetryPolicy struct {
+	// MaxAttempts is the per-machine, per-iteration attempt budget.
+	// Values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Defaults to 50 ms when retries are enabled.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Defaults to 2 s.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff that is randomised, in
+	// [0, 1]: the slept delay is backoff * (1 - Jitter + Jitter*u) with
+	// u ~ U[0, 2). Zero means deterministic backoff.
+	Jitter float64
+	// Seed seeds the jitter stream, keeping backoff schedules
+	// reproducible run-to-run.
+	Seed int64
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the delay before retry number retry (0-based) with
+// jitter drawn from src (which may be nil for no jitter).
+func (p RetryPolicy) backoff(retry int, src *rng.Source) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	d := base << uint(retry)
+	if d > maxB || d <= 0 { // d <= 0 guards shift overflow
+		d = maxB
+	}
+	if p.Jitter > 0 && src != nil {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Spread the jittered fraction uniformly in [0, 2): full jitter
+		// keeps the mean at d while decorrelating concurrent retries.
+		d = time.Duration(float64(d) * (1 - j + j*2*src.Float64()))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// BreakerPolicy is a per-machine circuit breaker: after FailThreshold
+// consecutive failed iterations the machine is probed only once every
+// ProbeEvery iterations until a probe succeeds. This keeps a hard-down
+// machine (powered off for the weekend, say) from consuming a full
+// retry budget every 15 minutes, while still noticing when it returns.
+// The zero value disables the breaker.
+type BreakerPolicy struct {
+	// FailThreshold is the number of consecutive failed iterations that
+	// opens the breaker. Values ≤ 0 disable the breaker.
+	FailThreshold int
+	// ProbeEvery is the open-breaker probe cadence in iterations.
+	// Defaults to 4 (once per hour at the paper's 15-minute period).
+	ProbeEvery int
+}
+
+// enabled reports whether the breaker trips at all.
+func (p BreakerPolicy) enabled() bool { return p.FailThreshold > 0 }
+
+// cadence returns the open-breaker probe period in iterations.
+func (p BreakerPolicy) cadence() int {
+	if p.ProbeEvery <= 0 {
+		return 4
+	}
+	return p.ProbeEvery
+}
+
+// machineState tracks one machine's health inside a WallCollector run.
+type machineState struct {
+	attempts    int
+	retries     int
+	failures    int
+	consecFails int
+	open        bool
+	openedIter  int // iteration at which the breaker opened
+}
+
+// shouldProbe reports whether an open breaker admits a probe this
+// iteration.
+func (m *machineState) shouldProbe(iter int, pol BreakerPolicy) bool {
+	if !m.open {
+		return true
+	}
+	return (iter-m.openedIter)%pol.cadence() == 0
+}
+
+// record books the outcome of one probed iteration and reports whether
+// the breaker transitioned closed→open.
+func (m *machineState) record(iter int, failed bool, pol BreakerPolicy) (opened bool) {
+	if !failed {
+		m.consecFails = 0
+		m.open = false
+		return false
+	}
+	m.failures++
+	m.consecFails++
+	if pol.enabled() && !m.open && m.consecFails >= pol.FailThreshold {
+		m.open = true
+		m.openedIter = iter
+		return true
+	}
+	return false
+}
+
+// health converts the internal state to the exported snapshot.
+func (m *machineState) health() MachineHealth {
+	return MachineHealth{
+		Attempts:    m.attempts,
+		Retries:     m.retries,
+		Failures:    m.failures,
+		ConsecFails: m.consecFails,
+		BreakerOpen: m.open,
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,6 +1,7 @@
 package ddc
 
 import (
+	"context"
 	"time"
 
 	"winlab/internal/machine"
@@ -33,6 +34,15 @@ func (d *Direct) Exec(machineID string) ([]byte, error) {
 	return probe.Render(sn), nil
 }
 
+// ExecContext implements ContextExecutor. The probe itself is in-process
+// and instantaneous, so only up-front cancellation is observed.
+func (d *Direct) ExecContext(ctx context.Context, machineID string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ErrUnreachable
+	}
+	return d.Exec(machineID)
+}
+
 // SimCollector drives the collection loop on a discrete-event engine: one
 // iteration per period, machines probed sequentially with per-probe
 // latency, every outcome handed to the post-collect hook.
@@ -42,8 +52,10 @@ type SimCollector struct {
 	Post PostCollect
 
 	// OnIteration, when set, is called when an iteration finishes with the
-	// number of machines that responded.
-	OnIteration func(iter int, start time.Time, attempted, responded int)
+	// number of machines that responded. SimCollector models the paper's
+	// retry-free coordinator, so the info's health counters only reflect
+	// the single attempt per machine.
+	OnIteration IterationFunc
 
 	stats Stats
 }
@@ -77,17 +89,23 @@ func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
 func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) {
 	c.stats.Iterations++
 	responded := 0
+	probes := 0
 	var step func(e *sim.Engine, idx int)
 	step = func(e *sim.Engine, idx int) {
 		if idx >= len(c.Cfg.Machines) {
 			if c.OnIteration != nil {
-				c.OnIteration(iter, start, len(c.Cfg.Machines), responded)
+				c.OnIteration(IterationInfo{
+					Iter: iter, Start: start,
+					Attempted: len(c.Cfg.Machines), Responded: responded,
+					Probes: probes,
+				})
 			}
 			return
 		}
 		id := c.Cfg.Machines[idx]
 		out, err := c.Exec.Exec(id)
 		c.stats.Attempts++
+		probes++
 		var lat time.Duration
 		if err != nil {
 			lat = c.Cfg.latFail()

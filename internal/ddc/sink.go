@@ -51,13 +51,14 @@ func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error)
 	s.d.Samples = append(s.d.Samples, trace.FromSnapshot(iter, sn))
 }
 
-// OnIteration records per-iteration bookkeeping; wire it to
-// SimCollector.OnIteration.
-func (s *DatasetSink) OnIteration(iter int, start time.Time, attempted, responded int) {
+// OnIteration records per-iteration bookkeeping; wire it to the
+// collector's OnIteration hook.
+func (s *DatasetSink) OnIteration(info IterationInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.d.Iterations = append(s.d.Iterations, trace.Iteration{
-		Iter: iter, Start: start, Attempted: attempted, Responded: responded,
+		Iter: info.Iter, Start: info.Start,
+		Attempted: info.Attempted, Responded: info.Responded,
 	})
 }
 

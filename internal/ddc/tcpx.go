@@ -2,6 +2,7 @@ package ddc
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -10,33 +11,52 @@ import (
 	"time"
 
 	"winlab/internal/probe"
+	"winlab/internal/rng"
 )
 
 // This file implements a real network transport for the collector: probe
 // agents that serve W32Probe reports over TCP, and a TCPExecutor that the
 // coordinator uses in place of psexec. The protocol is a single-line
-// request followed by the probe's stdout:
+// request followed by a status line and the probe's stdout:
 //
 //	C: PROBE <machine-id>\n
+//	S: OK\n
 //	S: <probe report>            (then the server closes the connection)
 //	S: ERR <message>\n           (on failure)
 //
-// It exists so the collector's code path — attempt, timeout, capture
-// stdout, post-collect — is exercised over an actual network stack, not
-// only in-process.
+// The explicit OK status line exists because the original protocol had the
+// client sniff the whole stream for an "ERR " prefix — which misclassified
+// any healthy machine whose report happened to begin with those four bytes
+// as unreachable. The client keeps a compat read path for legacy agents
+// that send the report unframed.
+//
+// The transport exists so the collector's code path — attempt, timeout,
+// capture stdout, post-collect — is exercised over an actual network
+// stack, not only in-process.
 
 // Agent serves probe reports for the machines of a StateSource.
 type Agent struct {
 	Source StateSource
 	Now    func() time.Time
 
-	ln     net.Listener
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	// Timeout bounds each connection's request/response exchange.
+	// Defaults to 10 s.
+	Timeout time.Duration
+
+	// OnServeError, when set, is called if the background Serve started
+	// by Listen exits with an error. Errors caused by Close are not
+	// reported.
+	OnServeError func(error)
+
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	serveErr error
+	wg       sync.WaitGroup
 }
 
-// Serve starts serving on ln. It returns when the listener is closed.
+// Serve starts serving on ln. It returns when the listener is closed;
+// closing via Close yields a nil error.
 func (a *Agent) Serve(ln net.Listener) error {
 	a.mu.Lock()
 	a.ln = ln
@@ -62,14 +82,35 @@ func (a *Agent) Serve(ln net.Listener) error {
 }
 
 // Listen starts the agent on addr (e.g. "127.0.0.1:0") and serves in a
-// background goroutine. It returns the bound address.
+// background goroutine. It returns the bound address. If the background
+// Serve fails, the error is recorded (see ServeError) and reported
+// through OnServeError; a clean Close reports nothing.
 func (a *Agent) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	go func() { _ = a.Serve(ln) }()
+	go func() {
+		err := a.Serve(ln)
+		if err == nil {
+			return
+		}
+		a.mu.Lock()
+		a.serveErr = err
+		cb := a.OnServeError
+		a.mu.Unlock()
+		if cb != nil {
+			cb(err)
+		}
+	}()
 	return ln.Addr().String(), nil
+}
+
+// ServeError returns the error the background Serve exited with, if any.
+func (a *Agent) ServeError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.serveErr
 }
 
 // Close stops the agent.
@@ -83,9 +124,16 @@ func (a *Agent) Close() error {
 	return nil
 }
 
+func (a *Agent) timeout() time.Duration {
+	if a.Timeout > 0 {
+		return a.Timeout
+	}
+	return 10 * time.Second
+}
+
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(a.timeout()))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return
@@ -102,6 +150,11 @@ func (a *Agent) handle(conn net.Conn) {
 	sn, up := a.Source.Snapshot(id, now)
 	if !up {
 		fmt.Fprintf(conn, "ERR unreachable\n")
+		return
+	}
+	// Explicit status framing: the report body follows verbatim, whatever
+	// bytes it starts with.
+	if _, err := io.WriteString(conn, "OK\n"); err != nil {
 		return
 	}
 	_, _ = conn.Write(probe.Render(sn))
@@ -130,6 +183,13 @@ func (t *TCPExecutor) Register(machineID, addr string) {
 
 // Exec implements Executor.
 func (t *TCPExecutor) Exec(machineID string) ([]byte, error) {
+	return t.ExecContext(context.Background(), machineID)
+}
+
+// ExecContext implements ContextExecutor: the probe is bounded by both the
+// executor's Timeout and ctx's deadline/cancellation, whichever is
+// tighter. All failures wrap ErrUnreachable, like a powered-off host.
+func (t *TCPExecutor) ExecContext(ctx context.Context, machineID string) ([]byte, error) {
 	t.mu.RLock()
 	addr, ok := t.addrs[machineID]
 	t.mu.RUnlock()
@@ -140,23 +200,52 @@ func (t *TCPExecutor) Exec(machineID string) ([]byte, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	dialCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(dialCtx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
+	_ = conn.SetDeadline(deadline)
 	if _, err := fmt.Fprintf(conn, "PROBE %s\n", machineID); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
-	out, err := io.ReadAll(conn)
+	out, err := readFramedReport(conn)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
-	if msg, isErr := strings.CutPrefix(string(out), "ERR "); isErr {
-		return nil, fmt.Errorf("%w: %s: %s", ErrUnreachable, machineID, strings.TrimSpace(msg))
-	}
 	return out, nil
+}
+
+// readFramedReport reads an agent response. Framed responses carry an
+// explicit status line ("OK" or "ERR <msg>"); anything else is treated as
+// a legacy unframed report whose first line is part of the body (compat
+// path for pre-framing agents).
+func readFramedReport(r io.Reader) ([]byte, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil && (err != io.EOF || line == "") {
+		return nil, err
+	}
+	switch status := strings.TrimRight(line, "\r\n"); {
+	case status == "OK":
+		return io.ReadAll(br)
+	case strings.HasPrefix(status, "ERR "):
+		return nil, fmt.Errorf("%s", strings.TrimPrefix(status, "ERR "))
+	default:
+		// Legacy agent: no status line; the line we consumed is report.
+		rest, rerr := io.ReadAll(br)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return append([]byte(line), rest...), nil
+	}
 }
 
 // WallCollector runs the collection loop in real time against any
@@ -164,94 +253,237 @@ func (t *TCPExecutor) Exec(machineID string) ([]byte, error) {
 // it probes sequentially like the paper's coordinator; Workers > 1 probes
 // concurrently, the ablation DESIGN.md §5 calls out (the paper accepted
 // multi-minute sequential sweeps; concurrency shrinks the sweep at the
-// cost of burstier network load). Run blocks until the iterations complete
-// or stop is closed.
+// cost of burstier network load).
+//
+// Unlike the paper's coordinator — which booked every probe timeout as a
+// powered-off machine — the collector can retry transient failures
+// (Retry) and stop hammering hard-down machines (Breaker); ProbeTimeout
+// bounds each probe when the executor is context-aware. Run blocks until
+// the iterations complete or stop is closed.
 type WallCollector struct {
 	Cfg     Config
 	Exec    Executor
 	Post    PostCollect
 	Workers int // concurrent probes per iteration; ≤1 means sequential
 
-	// OnIteration mirrors SimCollector.OnIteration.
-	OnIteration func(iter int, start time.Time, attempted, responded int)
+	// ProbeTimeout is the per-probe deadline, enforced through the
+	// executor's context-aware path when available. Zero means no
+	// collector-side deadline (the executor's own timeout still applies).
+	ProbeTimeout time.Duration
+
+	// Retry bounds per-machine re-execution of failed probes within an
+	// iteration; the zero value reproduces the paper's single-attempt
+	// behaviour.
+	Retry RetryPolicy
+
+	// Breaker caps probing of persistently failing machines; the zero
+	// value disables it.
+	Breaker BreakerPolicy
+
+	// OnIteration mirrors SimCollector.OnIteration and additionally
+	// carries the iteration's health counters.
+	OnIteration IterationFunc
+
+	jmu  sync.Mutex
+	jsrc *rng.Source
 }
 
-// sweep probes every machine once and returns the number that responded.
-// The post-collect hook runs serially regardless of worker count (the
-// paper's post-collecting code ran at the coordinator, single-threaded).
-func (w *WallCollector) sweep(iter int, st *Stats) int {
-	type outcome struct {
-		idx int
-		out []byte
-		err error
+// jitterSrc lazily builds the shared jitter stream.
+func (w *WallCollector) jitterSrc() *rng.Source {
+	w.jmu.Lock()
+	defer w.jmu.Unlock()
+	if w.jsrc == nil {
+		w.jsrc = rng.Derive(w.Retry.Seed, "ddc-retry-jitter")
 	}
+	return w.jsrc
+}
+
+// jitteredBackoff draws one backoff delay; the mutex serialises draws
+// under concurrent workers.
+func (w *WallCollector) jitteredBackoff(retry int) time.Duration {
+	if w.Retry.Jitter <= 0 {
+		return w.Retry.backoff(retry, nil)
+	}
+	src := w.jitterSrc()
+	w.jmu.Lock()
+	defer w.jmu.Unlock()
+	return w.Retry.backoff(retry, src)
+}
+
+// probeOutcome is the result of probing one machine for one iteration.
+type probeOutcome struct {
+	out      []byte
+	err      error
+	attempts int
+	skipped  bool // breaker-open skip: no probe was executed
+}
+
+// probeWithRetry runs the per-probe attempt loop: deadline, bounded
+// retries, exponential backoff with jitter.
+func (w *WallCollector) probeWithRetry(ctx context.Context, id string) probeOutcome {
+	maxAttempts := w.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var o probeOutcome
+	for try := 0; try < maxAttempts; try++ {
+		o.attempts++
+		pctx := ctx
+		var cancel context.CancelFunc
+		if w.ProbeTimeout > 0 {
+			pctx, cancel = context.WithTimeout(ctx, w.ProbeTimeout)
+		}
+		o.out, o.err = execProbe(pctx, w.Exec, id)
+		if cancel != nil {
+			cancel()
+		}
+		if o.err == nil || try == maxAttempts-1 || ctx.Err() != nil {
+			return o
+		}
+		sleepCtx(ctx, w.jitteredBackoff(try))
+		if ctx.Err() != nil {
+			return o
+		}
+	}
+	return o
+}
+
+// sweep probes every machine once and accumulates the iteration's health
+// into st and states. The post-collect hook runs serially in machine
+// order regardless of worker count (the paper's post-collecting code ran
+// at the coordinator, single-threaded).
+func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states map[string]*machineState) IterationInfo {
 	n := len(w.Cfg.Machines)
-	results := make([]outcome, n)
-	workers := w.Workers
-	if workers <= 1 {
-		for i, id := range w.Cfg.Machines {
-			out, err := w.Exec.Exec(id)
-			results[i] = outcome{idx: i, out: out, err: err}
+	results := make([]probeOutcome, n)
+
+	// Serial pre-pass: breaker admission control.
+	probeIdx := make([]int, 0, n)
+	for i, id := range w.Cfg.Machines {
+		ms := states[id]
+		if ms == nil {
+			ms = &machineState{}
+			states[id] = ms
+		}
+		if w.Breaker.enabled() && !ms.shouldProbe(iter, w.Breaker) {
+			results[i] = probeOutcome{err: fmt.Errorf("%w: %s", ErrBreakerOpen, id), skipped: true}
+			continue
+		}
+		probeIdx = append(probeIdx, i)
+	}
+
+	// Dispatch the admitted probes, sequentially or across workers.
+	if w.Workers <= 1 {
+		for _, i := range probeIdx {
+			results[i] = w.probeWithRetry(ctx, w.Cfg.Machines[i])
 		}
 	} else {
-		sem := make(chan struct{}, workers)
+		sem := make(chan struct{}, w.Workers)
 		var wg sync.WaitGroup
-		for i, id := range w.Cfg.Machines {
-			i, id := i, id
+		for _, i := range probeIdx {
+			i := i
 			wg.Add(1)
 			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				out, err := w.Exec.Exec(id)
-				results[i] = outcome{idx: i, out: out, err: err}
+				results[i] = w.probeWithRetry(ctx, w.Cfg.Machines[i])
 			}()
 		}
 		wg.Wait()
 	}
-	responded := 0
+
+	// Serial post-pass: accounting, breaker transitions, post-collect.
+	info := IterationInfo{Iter: iter, Attempted: n}
 	for i, id := range w.Cfg.Machines {
 		r := results[i]
-		st.Attempts++
-		if r.err == nil {
-			st.Samples++
-			responded++
+		ms := states[id]
+		if r.skipped {
+			st.BreakerSkipped++
+			info.BreakerSkipped++
+		} else {
+			st.Attempts += r.attempts
+			st.Retries += r.attempts - 1
+			info.Probes += r.attempts
+			info.Retries += r.attempts - 1
+			ms.attempts += r.attempts
+			ms.retries += r.attempts - 1
+			if r.err == nil {
+				st.Samples++
+				info.Responded++
+			}
+			if ms.record(iter, r.err != nil, w.Breaker) {
+				st.BreakerOpens++
+			}
+		}
+		if ms.open {
+			info.BreakerOpen++
 		}
 		if w.Post != nil {
 			w.Post(iter, id, r.out, r.err)
 		}
 	}
-	return responded
+	return info
 }
 
 // Run performs n iterations, sleeping the remainder of each period.
 // A nil stop channel disables early termination.
 func (w *WallCollector) Run(n int, stop <-chan struct{}) (Stats, error) {
+	ctx := context.Background()
+	if stop != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-done:
+			}
+		}()
+	}
+	return w.RunContext(ctx, n)
+}
+
+// RunContext is the context-aware collection loop: cancelling ctx stops
+// the run (after the in-flight iteration's bookkeeping) and propagates
+// into in-flight probes when the executor supports contexts.
+func (w *WallCollector) RunContext(ctx context.Context, n int) (st Stats, err error) {
 	if err := w.Cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
-	var st Stats
+	states := make(map[string]*machineState, len(w.Cfg.Machines))
+	defer func() {
+		st.Machines = make(map[string]MachineHealth, len(states))
+		for id, ms := range states {
+			st.Machines[id] = ms.health()
+		}
+	}()
 	for iter := 0; iter < n; iter++ {
 		start := time.Now()
 		if w.Cfg.inOutage(start) {
 			st.Skipped++
 		} else {
 			st.Iterations++
-			responded := w.sweep(iter, &st)
+			info := w.sweep(ctx, iter, &st, states)
+			info.Start = start
 			if w.OnIteration != nil {
-				w.OnIteration(iter, start, len(w.Cfg.Machines), responded)
+				w.OnIteration(info)
 			}
 		}
-		if iter == n-1 {
+		if iter == n-1 || ctx.Err() != nil {
 			break
 		}
 		rest := w.Cfg.Period - time.Since(start)
 		if rest <= 0 {
 			continue
 		}
+		t := time.NewTimer(rest)
 		select {
-		case <-time.After(rest):
-		case <-stop:
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
 			return st, nil
 		}
 	}

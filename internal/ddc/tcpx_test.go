@@ -1,10 +1,15 @@
 package ddc
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -229,6 +234,231 @@ func TestWallCollectorConcurrentWorkers(t *testing.T) {
 	}
 	if len(ds.Samples) != 4 || sink.ParseErrors != 0 {
 		t.Errorf("samples = %d, parse errors = %d", len(ds.Samples), sink.ParseErrors)
+	}
+}
+
+// rawProbeServer runs a hand-rolled server that consumes the request line
+// and answers with respond — for exercising the client against framed,
+// legacy, and adversarial peers.
+func rawProbeServer(t *testing.T, respond func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = bufio.NewReader(c).ReadString('\n')
+				respond(c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTCPAdversarialReportNotMisparsed is the regression test for the
+// prefix-sniffing protocol bug: a healthy machine whose report body begins
+// with "ERR " must be returned as data, not booked as unreachable.
+func TestTCPAdversarialReportNotMisparsed(t *testing.T) {
+	body := "ERR is a perfectly fine way to start a report\nline2\n"
+	addr := rawProbeServer(t, func(c net.Conn) {
+		_, _ = io.WriteString(c, "OK\n"+body)
+	})
+	exec := NewTCPExecutor()
+	exec.Timeout = 2 * time.Second
+	exec.Register("M1", addr)
+	out, err := exec.Exec("M1")
+	if err != nil {
+		t.Fatalf("adversarial report misparsed as failure: %v", err)
+	}
+	if string(out) != body {
+		t.Errorf("report body mangled: %q", out)
+	}
+}
+
+func TestTCPLegacyUnframedCompat(t *testing.T) {
+	// A pre-framing agent sends the report with no status line; the compat
+	// read path must still deliver it verbatim.
+	m := newMachine("M1")
+	m.PowerOn(t0)
+	sn, _ := m.Snapshot(t0.Add(time.Hour))
+	report := probe.Render(sn)
+	addr := rawProbeServer(t, func(c net.Conn) {
+		_, _ = c.Write(report)
+	})
+	exec := NewTCPExecutor()
+	exec.Timeout = 2 * time.Second
+	exec.Register("M1", addr)
+	out, err := exec.Exec("M1")
+	if err != nil {
+		t.Fatalf("legacy report rejected: %v", err)
+	}
+	if !bytes.Equal(out, report) {
+		t.Errorf("legacy report altered:\n got %q\nwant %q", out, report)
+	}
+	if _, err := probe.Parse(out); err != nil {
+		t.Errorf("legacy report unparseable: %v", err)
+	}
+
+	// Legacy error responses still surface as unreachable.
+	addr2 := rawProbeServer(t, func(c net.Conn) {
+		_, _ = io.WriteString(c, "ERR unreachable\n")
+	})
+	exec.Register("M2", addr2)
+	if _, err := exec.Exec("M2"); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("legacy ERR line err = %v", err)
+	}
+}
+
+func TestAgentTimeoutConfigurable(t *testing.T) {
+	src := &lockedSource{ms: map[string]*machine.Machine{}, now: t0}
+	agent := &Agent{Source: src, Timeout: 100 * time.Millisecond}
+	addr, err := agent.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the agent must give up after its (configured, not the
+	// default 10 s) deadline and close the connection.
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("agent answered an empty request")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("agent held the idle connection for %v; Timeout not applied", el)
+	}
+}
+
+// TestAgentCloseNotReportedAsServeError is the regression test for
+// Listen's silently-discarded Serve error: the error path is now plumbed,
+// and a clean Close must NOT be reported through it.
+func TestAgentCloseNotReportedAsServeError(t *testing.T) {
+	m := newMachine("M1")
+	m.PowerOn(t0)
+	src := &lockedSource{ms: map[string]*machine.Machine{"M1": m}, now: t0.Add(time.Hour)}
+
+	var reported int32
+	agent := &Agent{
+		Source:       src,
+		Now:          func() time.Time { return src.now },
+		OnServeError: func(error) { atomic.AddInt32(&reported, 1) },
+	}
+	addr, err := agent.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewTCPExecutor()
+	exec.Timeout = 2 * time.Second
+	exec.Register("M1", addr)
+	if _, err := exec.Exec("M1"); err != nil {
+		t.Fatalf("probe before close failed: %v", err)
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the background Serve goroutine time to observe the close.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := net.Dial("tcp", addr); err != nil {
+			break // listener is really gone
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := atomic.LoadInt32(&reported); n != 0 {
+		t.Errorf("clean Close reported as Serve error %d times", n)
+	}
+	if err := agent.ServeError(); err != nil {
+		t.Errorf("ServeError after clean close = %v", err)
+	}
+}
+
+// orderedSlowExec answers with per-machine delays so concurrent probes
+// complete out of list order; it is safe for concurrent use.
+type orderedSlowExec struct {
+	delays map[string]time.Duration
+	up     map[string]bool
+}
+
+func (s *orderedSlowExec) Exec(id string) ([]byte, error) {
+	time.Sleep(s.delays[id])
+	if !s.up[id] {
+		return nil, ErrUnreachable
+	}
+	return []byte("report:" + id), nil
+}
+
+// TestWallCollectorWorkersAccounting pins the concurrent sweep's
+// contract: per-iteration Attempts/Samples accounting is exact and the
+// post-collect hook runs serially, in machine order, even though probe
+// completions are deliberately inverted. Run under -race.
+func TestWallCollectorWorkersAccounting(t *testing.T) {
+	machines := []string{"M1", "M2", "M3", "M4"}
+	exec := &orderedSlowExec{
+		// M1 slowest, M4 fastest: completion order is the reverse of
+		// machine order.
+		delays: map[string]time.Duration{
+			"M1": 40 * time.Millisecond, "M2": 25 * time.Millisecond,
+			"M3": 10 * time.Millisecond, "M4": 0,
+		},
+		up: map[string]bool{"M1": true, "M2": true, "M4": true}, // M3 down
+	}
+	var inPost int32
+	var order []string
+	var iterInfos []IterationInfo
+	coll := &WallCollector{
+		Cfg:     Config{Machines: machines, Period: time.Millisecond},
+		Exec:    exec,
+		Workers: 4,
+		Post: func(iter int, id string, out []byte, err error) {
+			if atomic.AddInt32(&inPost, 1) != 1 {
+				t.Error("Post ran concurrently")
+			}
+			defer atomic.AddInt32(&inPost, -1)
+			order = append(order, fmt.Sprintf("%d/%s", iter, id))
+		},
+		OnIteration: func(info IterationInfo) { iterInfos = append(iterInfos, info) },
+	}
+	const iters = 3
+	st, err := coll.Run(iters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != iters*4 || st.Samples != iters*3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(iterInfos) != iters {
+		t.Fatalf("OnIteration fired %d times", len(iterInfos))
+	}
+	for _, info := range iterInfos {
+		if info.Attempted != 4 || info.Responded != 3 || info.Probes != 4 || info.Retries != 0 {
+			t.Errorf("iteration %d info = %+v", info.Iter, info)
+		}
+	}
+	if len(order) != iters*4 {
+		t.Fatalf("Post fired %d times", len(order))
+	}
+	for i, got := range order {
+		want := fmt.Sprintf("%d/%s", i/4, machines[i%4])
+		if got != want {
+			t.Fatalf("Post order[%d] = %s, want %s (full: %v)", i, got, want, order)
+		}
+	}
+	if m3 := st.Machines["M3"]; m3.Failures != iters || m3.ConsecFails != iters {
+		t.Errorf("M3 health = %+v", m3)
 	}
 }
 

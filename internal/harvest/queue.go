@@ -208,6 +208,19 @@ func RunQueue(d *trace.Dataset, cfg QueueConfig) (QueueResult, error) {
 	}
 	if !res.Drained {
 		res.Makespan = d.End.Sub(d.Start)
+		// Drain the reboot markers that fall after a machine's last usable
+		// interval: the loop above only applies markers when a later
+		// interval of the same machine comes up, so a trace that *ends* in
+		// a reboot would otherwise never evict the in-flight replica and
+		// LostWork/Evictions would be undercounted. (When the bag drained
+		// early the remaining replicas are duplicates of completed tasks
+		// and are accounted as waste below instead.)
+		for id, evs := range evictAt {
+			if evIdx[id] < len(evs) {
+				evict(id)
+				evIdx[id] = len(evs)
+			}
+		}
 	}
 	// Whatever is still running when the bag drains (duplicate replicas of
 	// completed tasks) or when the trace ends (abandoned in-flight work)

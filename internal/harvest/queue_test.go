@@ -139,6 +139,34 @@ func TestQueueEvictionRollback(t *testing.T) {
 	}
 }
 
+// TestQueueEndOfTraceEviction is the regression test for the dropped
+// trailing reboot markers: a reboot after a machine's last usable interval
+// must still evict the in-flight replica, otherwise end-of-trace LostWork
+// and Evictions are undercounted.
+func TestQueueEndOfTraceEviction(t *testing.T) {
+	// Reboot between the last two samples: the marker falls after the last
+	// usable interval and is only applied by the post-loop drain.
+	d := multiFixture(1, map[string]int{"A": 96})
+	res, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 1000, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 1 {
+		t.Errorf("end-of-trace reboot not applied: evictions = %d, want 1", res.Evictions)
+	}
+	if res.LostWork <= 0 {
+		t.Errorf("end-of-trace eviction lost no work: %+v", res)
+	}
+	// Checkpointing bounds the loss from the trailing eviction too.
+	with, err := RunQueue(d, QueueConfig{Tasks: 1, TaskWork: 1000, Checkpoint: time.Hour, Policy: FreeOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Evictions != 1 || with.LostWork >= res.LostWork {
+		t.Errorf("checkpointed trailing eviction: %+v vs %+v", with, res)
+	}
+}
+
 func TestQueueValidation(t *testing.T) {
 	d := multiFixture(1, nil)
 	if _, err := RunQueue(d, QueueConfig{Tasks: 0, TaskWork: 1}); err == nil {
