@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench telemetry-demo
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,24 @@ verify:
 
 bench:
 	$(GO) test -bench . -benchmem
+
+# telemetry-demo runs the live collector with the metrics endpoint and
+# span trace enabled, scrapes it mid-run, and fails if /metrics or
+# /healthz do not answer.
+telemetry-demo:
+	@rm -f /tmp/winlab-spans.jsonl
+	@$(GO) run ./cmd/ddcd -iters 40 -period 200ms -failp 0.25 -retries 2 \
+	    -breaker-k 3 -metrics-addr 127.0.0.1:9190 \
+	    -trace-out /tmp/winlab-spans.jsonl & \
+	pid=$$!; \
+	sleep 3; \
+	echo "--- /metrics (ddc_* excerpt) ---"; \
+	curl -sf http://127.0.0.1:9190/metrics | grep '^ddc_' || { kill $$pid; exit 1; }; \
+	echo "--- /healthz ---"; \
+	curl -sf http://127.0.0.1:9190/healthz || { kill $$pid; exit 1; }; \
+	echo "--- /spans?n=2 ---"; \
+	curl -sf 'http://127.0.0.1:9190/spans?n=2' || { kill $$pid; exit 1; }; \
+	wait $$pid; \
+	echo "--- span trace ---"; \
+	head -2 /tmp/winlab-spans.jsonl; \
+	wc -l < /tmp/winlab-spans.jsonl | xargs echo "spans:"

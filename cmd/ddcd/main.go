@@ -12,14 +12,23 @@
 // configure the per-machine circuit breaker, and -failp injects seeded
 // transient probe failures so the retry machinery can be watched working.
 //
+// Observability: -metrics-addr serves live telemetry over HTTP while the
+// collection runs — Prometheus text exposition on /metrics, a JSON
+// snapshot on /vars, recent probe spans on /spans, /healthz, and the
+// net/http/pprof endpoints under /debug/pprof/. -trace-out streams every
+// probe span (machine, iteration, attempt, latency, outcome) to a JSONL
+// file for offline analysis.
+//
 // Usage:
 //
 //	ddcd [-machines 8] [-iters 20] [-period 100ms] [-accel 9000]
 //	     [-workers 1] [-retries 0] [-probe-timeout 0] [-failp 0]
 //	     [-breaker-k 0] [-breaker-every 4]
+//	     [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +44,8 @@ import (
 	"winlab/internal/machine"
 	"winlab/internal/report"
 	"winlab/internal/sim"
+	"winlab/internal/telemetry"
+	"winlab/internal/telemetry/httpx"
 	"winlab/internal/trace"
 )
 
@@ -80,8 +91,46 @@ func main() {
 		failp    = flag.Float64("failp", 0, "injected transient probe-failure probability")
 		breakerK = flag.Int("breaker-k", 0, "consecutive failures that open the circuit breaker (0 = off)")
 		breakerN = flag.Int("breaker-every", 4, "open-breaker probe cadence in iterations")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
+		traceOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 	)
 	flag.Parse()
+
+	// Observability: one registry feeds the collector, the TCP transport,
+	// the agents and the sink; -metrics-addr exposes it live.
+	var reg *telemetry.Registry
+	if *metrics != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddcd:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		reg.Spans().SetWriter(bw)
+		defer func() {
+			if err := bw.Flush(); err == nil {
+				err = f.Close()
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "ddcd: %d spans written to %s\n", reg.Spans().Total(), *traceOut)
+				}
+			}
+			if werr := reg.Spans().WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "ddcd: span stream error:", werr)
+			}
+		}()
+	}
+	if *metrics != "" {
+		srv, err := httpx.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddcd:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ddcd: telemetry on %s/metrics (also /vars, /spans, /healthz, /debug/pprof/)\n", srv.URL())
+	}
 
 	specs := []lab.Spec{{
 		Name: "L01", Machines: *nMach, CPUModel: "Intel Pentium 4", CPUGHz: 2.4,
@@ -99,11 +148,12 @@ func main() {
 
 	// One TCP agent per machine, like one psexec endpoint per host.
 	exec := ddc.NewTCPExecutor()
+	exec.SetTelemetry(reg)
 	var ids []string
 	var infos []trace.MachineInfo
 	var agents []*ddc.Agent
 	for _, m := range fleet.Machines {
-		agent := &ddc.Agent{Source: wf}
+		agent := &ddc.Agent{Source: wf, Telemetry: reg}
 		addr, err := agent.Listen("127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddcd:", err)
@@ -127,7 +177,7 @@ func main() {
 	// the wall period scaled by the acceleration factor.
 	simPeriod := time.Duration(float64(*period) * *accel)
 	simSpan := time.Duration(*iters) * simPeriod
-	sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos)
+	sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos).WithTelemetry(reg)
 
 	// Optional fault injection between the coordinator and the TCP path,
 	// so the retry/breaker machinery can be demonstrated deterministically.
@@ -145,6 +195,7 @@ func main() {
 		ProbeTimeout: *ptimeout,
 		Retry:        ddc.RetryPolicy{MaxAttempts: 1 + *retries, Jitter: 0.5, Seed: *seed},
 		Breaker:      ddc.BreakerPolicy{FailThreshold: *breakerK, ProbeEvery: *breakerN},
+		Telemetry:    reg,
 	}
 	coll.OnIteration = sink.OnIteration
 

@@ -8,12 +8,20 @@
 // check that the reproduction's numbers are properties of the model, not
 // of one lucky seed.
 //
+// Observability: -metrics-addr serves the collector's live telemetry over
+// HTTP during the run (Prometheus /metrics, JSON /vars, /spans, /healthz,
+// /debug/pprof/) — the 77-day experiment compresses into ~15 s of wall
+// time, so scrape fast or raise -days. -trace-out streams every probe
+// span to a JSONL file.
+//
 // Usage:
 //
 //	labmon [-seed N] [-days N] [-period 15m] [-trace out.csv[.gz]] [-csvdir dir] [-quiet] [-replicate N]
+//	       [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,8 @@ import (
 	"winlab/internal/core"
 	"winlab/internal/report"
 	"winlab/internal/stats"
+	"winlab/internal/telemetry"
+	"winlab/internal/telemetry/httpx"
 	"winlab/internal/trace"
 )
 
@@ -83,12 +93,44 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "export figure CSVs into this directory")
 		quiet    = flag.Bool("quiet", false, "suppress the text report")
 		reps     = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
+		spansOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.Days = *days
 	cfg.Period = *period
+
+	if *metrics != "" || *spansOut != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		cfg.Telemetry.Spans().SetWriter(bw)
+		defer func() {
+			if err := bw.Flush(); err == nil && f.Close() == nil {
+				fmt.Fprintf(os.Stderr, "labmon: %d spans written to %s\n", cfg.Telemetry.Spans().Total(), *spansOut)
+			}
+			if werr := cfg.Telemetry.Spans().WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "labmon: span stream error:", werr)
+			}
+		}()
+	}
+	if *metrics != "" {
+		srv, err := httpx.Serve(*metrics, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "labmon: telemetry on %s/metrics (also /vars, /spans, /healthz, /debug/pprof/)\n", srv.URL())
+	}
 
 	if *reps > 0 {
 		if err := replicate(cfg, *reps); err != nil {

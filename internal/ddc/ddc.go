@@ -66,13 +66,23 @@ type PostCollect func(iter int, machineID string, stdout []byte, err error)
 type IterationInfo struct {
 	Iter      int
 	Start     time.Time
-	Attempted int // machines scheduled this iteration
-	Responded int // machines that yielded a report
+	End       time.Time // when the iteration's sweep finished (sim or wall clock)
+	Attempted int       // machines scheduled this iteration
+	Responded int       // machines that yielded a report
 
 	Probes         int // probe executions, including retries
 	Retries        int // probe executions beyond each machine's first try
 	BreakerSkipped int // machines skipped because their breaker was open
 	BreakerOpen    int // machines whose breaker is open after the iteration
+}
+
+// Elapsed returns the iteration's sweep duration (End − Start), or zero
+// when either endpoint is unset.
+func (i IterationInfo) Elapsed() time.Duration {
+	if i.Start.IsZero() || i.End.IsZero() {
+		return 0
+	}
+	return i.End.Sub(i.Start)
 }
 
 // IterationFunc is the per-iteration hook shared by both collectors.

@@ -7,6 +7,7 @@ import (
 	"winlab/internal/machine"
 	"winlab/internal/probe"
 	"winlab/internal/sim"
+	"winlab/internal/telemetry"
 )
 
 // StateSource provides machine snapshots at a given instant. The simulated
@@ -57,7 +58,15 @@ type SimCollector struct {
 	// the single attempt per machine.
 	OnIteration IterationFunc
 
+	// Telemetry, when set before Install, mirrors the run into a metrics
+	// registry and records one span per probe. Latencies are simulated
+	// time (the modelled probe latency), not wall time — the iteration
+	// duration histogram then reports the sweep length the paper's
+	// sequential coordinator would have seen.
+	Telemetry *telemetry.Registry
+
 	stats Stats
+	tel   collectorTelemetry
 }
 
 // Stats returns the collector's accumulated run statistics.
@@ -68,6 +77,7 @@ func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
 	if err := c.Cfg.Validate(); err != nil {
 		return err
 	}
+	c.tel = newCollectorTelemetry(c.Telemetry)
 	iter := 0
 	for at := start; at.Before(end); at = at.Add(c.Cfg.Period) {
 		at := at
@@ -75,6 +85,7 @@ func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
 		iter++
 		if c.Cfg.inOutage(at) {
 			c.stats.Skipped++
+			c.tel.iterationsSkipped.Inc()
 			continue
 		}
 		eng.At(at, "ddc-iteration", func(e *sim.Engine) {
@@ -88,14 +99,17 @@ func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
 // delayed by the previous probe's latency.
 func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) {
 	c.stats.Iterations++
+	c.tel.iterations.Inc()
 	responded := 0
 	probes := 0
 	var step func(e *sim.Engine, idx int)
 	step = func(e *sim.Engine, idx int) {
 		if idx >= len(c.Cfg.Machines) {
+			end := e.Now()
+			c.tel.iterationDuration.Observe(end.Sub(start))
 			if c.OnIteration != nil {
 				c.OnIteration(IterationInfo{
-					Iter: iter, Start: start,
+					Iter: iter, Start: start, End: end,
 					Attempted: len(c.Cfg.Machines), Responded: responded,
 					Probes: probes,
 				})
@@ -106,13 +120,24 @@ func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) 
 		out, err := c.Exec.Exec(id)
 		c.stats.Attempts++
 		probes++
+		c.tel.probes.Inc()
 		var lat time.Duration
 		if err != nil {
 			lat = c.Cfg.latFail()
+			c.tel.failures.Inc()
 		} else {
 			lat = c.Cfg.latOK()
 			c.stats.Samples++
 			responded++
+			c.tel.samples.Inc()
+		}
+		c.tel.probeDuration.Observe(lat)
+		if c.tel.spans != nil {
+			outcome := telemetry.OutcomeOK
+			if err != nil {
+				outcome = telemetry.OutcomeError
+			}
+			c.tel.span(id, iter, 1, lat, outcome, err)
 		}
 		if c.Post != nil {
 			c.Post(iter, id, out, err)

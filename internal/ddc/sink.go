@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"winlab/internal/probe"
+	"winlab/internal/telemetry"
 	"winlab/internal/trace"
 )
 
@@ -22,6 +23,13 @@ type DatasetSink struct {
 	// value indicates a probe/transport bug).
 	ParseErrors int
 	lastErr     error
+
+	// bookedParseErrs is how many parse errors had already been attributed
+	// to finished iterations; the difference to ParseErrors is what the
+	// next OnIteration books.
+	bookedParseErrs int
+
+	tel sinkTelemetry
 }
 
 // NewDatasetSink creates a sink collecting into a dataset with the given
@@ -35,6 +43,16 @@ func NewDatasetSink(start, end time.Time, period time.Duration, machines []trace
 	}}
 }
 
+// WithTelemetry wires the sink to a metrics registry (sink_* counters;
+// parse errors additionally record a parse_error span) and returns the
+// sink for chaining. A nil registry keeps the sink uninstrumented.
+func (s *DatasetSink) WithTelemetry(reg *telemetry.Registry) *DatasetSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = newSinkTelemetry(reg)
+	return s
+}
+
 // Post is the PostCollect hook.
 func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error) {
 	if err != nil {
@@ -46,20 +64,36 @@ func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error)
 	if perr != nil {
 		s.ParseErrors++
 		s.lastErr = fmt.Errorf("machine %s: %w", machineID, perr)
+		s.tel.parseErrors.Inc()
+		if s.tel.spans != nil {
+			s.tel.spans.Record(telemetry.Span{
+				Machine: machineID,
+				Iter:    iter,
+				Outcome: telemetry.OutcomeParseError,
+				Err:     perr.Error(),
+			})
+		}
 		return
 	}
 	s.d.Samples = append(s.d.Samples, trace.FromSnapshot(iter, sn))
+	s.tel.samples.Inc()
 }
 
 // OnIteration records per-iteration bookkeeping; wire it to the
-// collector's OnIteration hook.
+// collector's OnIteration hook. Parse errors that surfaced since the
+// previous iteration are attributed to this one (the collectors run the
+// post-collect hooks for an iteration before its OnIteration fires).
 func (s *DatasetSink) OnIteration(info IterationInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	perrs := s.ParseErrors - s.bookedParseErrs
+	s.bookedParseErrs = s.ParseErrors
 	s.d.Iterations = append(s.d.Iterations, trace.Iteration{
-		Iter: info.Iter, Start: info.Start,
+		Iter: info.Iter, Start: info.Start, End: info.End,
 		Attempted: info.Attempted, Responded: info.Responded,
+		ParseErrors: perrs,
 	})
+	s.tel.iterations.Inc()
 }
 
 // Dataset returns the collected dataset. The last parse error, if any, is
@@ -68,4 +102,13 @@ func (s *DatasetSink) Dataset() (*trace.Dataset, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.d, s.lastErr
+}
+
+// LastParseError returns the most recent report parse failure, or nil if
+// every report parsed. It is the live counterpart of the error Dataset
+// returns at the end of a run.
+func (s *DatasetSink) LastParseError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
 }

@@ -12,6 +12,7 @@ import (
 
 	"winlab/internal/probe"
 	"winlab/internal/rng"
+	"winlab/internal/telemetry"
 )
 
 // This file implements a real network transport for the collector: probe
@@ -43,6 +44,11 @@ type Agent struct {
 	// Defaults to 10 s.
 	Timeout time.Duration
 
+	// Telemetry, when set before Serve/Listen, counts connections,
+	// request errors and bytes written (agent_* metrics). A nil registry
+	// keeps the serving path uninstrumented.
+	Telemetry *telemetry.Registry
+
 	// OnServeError, when set, is called if the background Serve started
 	// by Listen exits with an error. Errors caused by Close are not
 	// reported.
@@ -53,6 +59,15 @@ type Agent struct {
 	closed   bool
 	serveErr error
 	wg       sync.WaitGroup
+
+	telOnce sync.Once
+	tel     agentTelemetry
+}
+
+// telemetryHandles resolves the agent's metric handles once.
+func (a *Agent) telemetryHandles() *agentTelemetry {
+	a.telOnce.Do(func() { a.tel = newAgentTelemetry(a.Telemetry) })
+	return &a.tel
 }
 
 // Serve starts serving on ln. It returns when the listener is closed;
@@ -133,14 +148,21 @@ func (a *Agent) timeout() time.Duration {
 
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
+	tel := a.telemetryHandles()
+	tel.conns.Inc()
+	tel.inflight.Add(1)
+	defer tel.inflight.Add(-1)
 	_ = conn.SetDeadline(time.Now().Add(a.timeout()))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
+		tel.connErrors.Inc()
 		return
 	}
 	id, ok := strings.CutPrefix(strings.TrimSpace(line), "PROBE ")
 	if !ok {
-		fmt.Fprintf(conn, "ERR bad request\n")
+		tel.connErrors.Inc()
+		n, _ := fmt.Fprintf(conn, "ERR bad request\n")
+		tel.bytesWritten.Add(int64(n))
 		return
 	}
 	now := time.Now()
@@ -149,15 +171,20 @@ func (a *Agent) handle(conn net.Conn) {
 	}
 	sn, up := a.Source.Snapshot(id, now)
 	if !up {
-		fmt.Fprintf(conn, "ERR unreachable\n")
+		n, _ := fmt.Fprintf(conn, "ERR unreachable\n")
+		tel.bytesWritten.Add(int64(n))
 		return
 	}
 	// Explicit status framing: the report body follows verbatim, whatever
 	// bytes it starts with.
-	if _, err := io.WriteString(conn, "OK\n"); err != nil {
+	n, err := io.WriteString(conn, "OK\n")
+	tel.bytesWritten.Add(int64(n))
+	if err != nil {
+		tel.connErrors.Inc()
 		return
 	}
-	_, _ = conn.Write(probe.Render(sn))
+	n, _ = conn.Write(probe.Render(sn))
+	tel.bytesWritten.Add(int64(n))
 }
 
 // TCPExecutor probes agents over TCP. A machine with no registered address
@@ -167,11 +194,22 @@ type TCPExecutor struct {
 	mu      sync.RWMutex
 	addrs   map[string]string
 	Timeout time.Duration // per-probe dial+read deadline (default 5 s)
+
+	tel transportTelemetry
 }
 
 // NewTCPExecutor creates an executor with an empty registry.
 func NewTCPExecutor() *TCPExecutor {
 	return &TCPExecutor{addrs: make(map[string]string)}
+}
+
+// SetTelemetry wires the executor to a metrics registry (tcp_* metrics:
+// dial/read latency, bytes in/out, in-flight probes). Call before the
+// collection starts; a nil registry switches instrumentation off.
+func (t *TCPExecutor) SetTelemetry(reg *telemetry.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tel = newTransportTelemetry(reg)
 }
 
 // Register maps a machine ID to its agent's address.
@@ -192,6 +230,7 @@ func (t *TCPExecutor) Exec(machineID string) ([]byte, error) {
 func (t *TCPExecutor) ExecContext(ctx context.Context, machineID string) ([]byte, error) {
 	t.mu.RLock()
 	addr, ok := t.addrs[machineID]
+	tel := t.tel
 	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s not registered", ErrUnreachable, machineID)
@@ -206,21 +245,50 @@ func (t *TCPExecutor) ExecContext(ctx context.Context, machineID string) ([]byte
 	}
 	dialCtx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
+	tel.inflight.Add(1)
+	defer tel.inflight.Add(-1)
 	var dialer net.Dialer
+	dialStart := time.Now()
 	conn, err := dialer.DialContext(dialCtx, "tcp", addr)
+	tel.dials.Inc()
+	tel.dialDuration.Observe(time.Since(dialStart))
 	if err != nil {
+		tel.dialErrors.Inc()
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline)
-	if _, err := fmt.Fprintf(conn, "PROBE %s\n", machineID); err != nil {
+	n, err := fmt.Fprintf(conn, "PROBE %s\n", machineID)
+	tel.bytesWritten.Add(int64(n))
+	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
-	out, err := readFramedReport(conn)
+	readStart := time.Now()
+	var out []byte
+	if tel.bytesRead != nil {
+		cr := &countingReader{r: conn}
+		out, err = readFramedReport(cr)
+		tel.bytesRead.Add(cr.n)
+	} else {
+		out, err = readFramedReport(conn)
+	}
+	tel.probeDuration.Observe(time.Since(readStart))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
 	}
 	return out, nil
+}
+
+// countingReader counts the bytes pulled through an io.Reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // readFramedReport reads an agent response. Framed responses carry an
@@ -284,6 +352,12 @@ type WallCollector struct {
 	// carries the iteration's health counters.
 	OnIteration IterationFunc
 
+	// Telemetry, when set, streams the run's health into a metrics
+	// registry (ddc_* counters/gauges/histograms) and records one span per
+	// probe attempt and per breaker skip. Nil keeps the probe path
+	// uninstrumented and allocation-free.
+	Telemetry *telemetry.Registry
+
 	jmu  sync.Mutex
 	jsrc *rng.Source
 }
@@ -319,12 +393,17 @@ type probeOutcome struct {
 }
 
 // probeWithRetry runs the per-probe attempt loop: deadline, bounded
-// retries, exponential backoff with jitter.
-func (w *WallCollector) probeWithRetry(ctx context.Context, id string) probeOutcome {
+// retries, exponential backoff with jitter. Every executed attempt is
+// recorded as one telemetry span: ok, retry (a failure that will be
+// re-attempted), timeout (final attempt killed by the collector's
+// per-probe deadline) or error (final attempt failed otherwise).
+func (w *WallCollector) probeWithRetry(ctx context.Context, iter int, id string, tel *collectorTelemetry) probeOutcome {
 	maxAttempts := w.Retry.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	tel.probesInflight.Add(1)
+	defer tel.probesInflight.Add(-1)
 	var o probeOutcome
 	for try := 0; try < maxAttempts; try++ {
 		o.attempts++
@@ -333,13 +412,26 @@ func (w *WallCollector) probeWithRetry(ctx context.Context, id string) probeOutc
 		if w.ProbeTimeout > 0 {
 			pctx, cancel = context.WithTimeout(ctx, w.ProbeTimeout)
 		}
+		attemptStart := time.Now()
 		o.out, o.err = execProbe(pctx, w.Exec, id)
+		lat := time.Since(attemptStart)
+		timedOut := o.err != nil && pctx.Err() == context.DeadlineExceeded && ctx.Err() == nil
 		if cancel != nil {
 			cancel()
 		}
+		tel.probeDuration.Observe(lat)
 		if o.err == nil || try == maxAttempts-1 || ctx.Err() != nil {
+			switch {
+			case o.err == nil:
+				tel.span(id, iter, o.attempts, lat, telemetry.OutcomeOK, nil)
+			case timedOut:
+				tel.span(id, iter, o.attempts, lat, telemetry.OutcomeTimeout, o.err)
+			default:
+				tel.span(id, iter, o.attempts, lat, telemetry.OutcomeError, o.err)
+			}
 			return o
 		}
+		tel.span(id, iter, o.attempts, lat, telemetry.OutcomeRetry, o.err)
 		sleepCtx(ctx, w.jitteredBackoff(try))
 		if ctx.Err() != nil {
 			return o
@@ -352,7 +444,7 @@ func (w *WallCollector) probeWithRetry(ctx context.Context, id string) probeOutc
 // into st and states. The post-collect hook runs serially in machine
 // order regardless of worker count (the paper's post-collecting code ran
 // at the coordinator, single-threaded).
-func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states map[string]*machineState) IterationInfo {
+func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states map[string]*machineState, tel *collectorTelemetry) IterationInfo {
 	n := len(w.Cfg.Machines)
 	results := make([]probeOutcome, n)
 
@@ -366,6 +458,7 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 		}
 		if w.Breaker.enabled() && !ms.shouldProbe(iter, w.Breaker) {
 			results[i] = probeOutcome{err: fmt.Errorf("%w: %s", ErrBreakerOpen, id), skipped: true}
+			tel.span(id, iter, 0, 0, telemetry.OutcomeBreakerSkip, nil)
 			continue
 		}
 		probeIdx = append(probeIdx, i)
@@ -374,7 +467,7 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 	// Dispatch the admitted probes, sequentially or across workers.
 	if w.Workers <= 1 {
 		for _, i := range probeIdx {
-			results[i] = w.probeWithRetry(ctx, w.Cfg.Machines[i])
+			results[i] = w.probeWithRetry(ctx, iter, w.Cfg.Machines[i], tel)
 		}
 	} else {
 		sem := make(chan struct{}, w.Workers)
@@ -386,13 +479,15 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i] = w.probeWithRetry(ctx, w.Cfg.Machines[i])
+				results[i] = w.probeWithRetry(ctx, iter, w.Cfg.Machines[i], tel)
 			}()
 		}
 		wg.Wait()
 	}
 
 	// Serial post-pass: accounting, breaker transitions, post-collect.
+	// Telemetry counters are bumped here, next to the Stats fields they
+	// mirror, so a /metrics scrape after the run matches Stats exactly.
 	info := IterationInfo{Iter: iter, Attempted: n}
 	for i, id := range w.Cfg.Machines {
 		r := results[i]
@@ -400,6 +495,7 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 		if r.skipped {
 			st.BreakerSkipped++
 			info.BreakerSkipped++
+			tel.breakerSkips.Inc()
 		} else {
 			st.Attempts += r.attempts
 			st.Retries += r.attempts - 1
@@ -407,12 +503,18 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 			info.Retries += r.attempts - 1
 			ms.attempts += r.attempts
 			ms.retries += r.attempts - 1
+			tel.probes.Add(int64(r.attempts))
+			tel.retries.Add(int64(r.attempts - 1))
 			if r.err == nil {
 				st.Samples++
 				info.Responded++
+				tel.samples.Inc()
+			} else {
+				tel.failures.Inc()
 			}
 			if ms.record(iter, r.err != nil, w.Breaker) {
 				st.BreakerOpens++
+				tel.breakerOpens.Inc()
 			}
 		}
 		if ms.open {
@@ -422,6 +524,7 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 			w.Post(iter, id, r.out, r.err)
 		}
 	}
+	tel.breakerOpenMachines.Set(int64(info.BreakerOpen))
 	return info
 }
 
@@ -454,6 +557,7 @@ func (w *WallCollector) RunContext(ctx context.Context, n int) (st Stats, err er
 		return Stats{}, err
 	}
 	states := make(map[string]*machineState, len(w.Cfg.Machines))
+	tel := newCollectorTelemetry(w.Telemetry)
 	defer func() {
 		st.Machines = make(map[string]MachineHealth, len(states))
 		for id, ms := range states {
@@ -464,10 +568,14 @@ func (w *WallCollector) RunContext(ctx context.Context, n int) (st Stats, err er
 		start := time.Now()
 		if w.Cfg.inOutage(start) {
 			st.Skipped++
+			tel.iterationsSkipped.Inc()
 		} else {
 			st.Iterations++
-			info := w.sweep(ctx, iter, &st, states)
+			tel.iterations.Inc()
+			info := w.sweep(ctx, iter, &st, states, &tel)
 			info.Start = start
+			info.End = time.Now()
+			tel.iterationDuration.Observe(info.End.Sub(start))
 			if w.OnIteration != nil {
 				w.OnIteration(info)
 			}

@@ -15,6 +15,7 @@ import (
 	"winlab/internal/machine"
 	"winlab/internal/rng"
 	"winlab/internal/sim"
+	"winlab/internal/telemetry"
 	"winlab/internal/trace"
 )
 
@@ -34,6 +35,12 @@ type Config struct {
 	// lost iterations; OutageMeanLen the mean outage length.
 	OutageFraction float64
 	OutageMeanLen  time.Duration
+
+	// Telemetry, when set, streams the collector's and sink's health into
+	// the registry (ddc_*/sink_* metrics plus per-probe spans) so a
+	// -metrics-addr scrape can watch the run live. Nil keeps the run
+	// uninstrumented.
+	Telemetry *telemetry.Registry
 }
 
 // Default returns the configuration reproducing the paper's experiment.
@@ -103,8 +110,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	lat := rng.Derive(cfg.Seed, "latency")
-	sink := ddc.NewDatasetSink(start, end, cfg.Period, infos)
+	sink := ddc.NewDatasetSink(start, end, cfg.Period, infos).WithTelemetry(cfg.Telemetry)
 	coll := &ddc.SimCollector{
+		Telemetry: cfg.Telemetry,
 		Cfg: ddc.Config{
 			Machines: ids,
 			Period:   cfg.Period,

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders the registry for the two scrape surfaces: Prometheus
+// text exposition (format 0.0.4) for /metrics and a JSON snapshot for
+// /vars. Scrapes read every metric with atomic loads; writers are never
+// blocked. Within one scrape a histogram's cumulative bucket counts are
+// monotone and its _count equals its +Inf bucket by construction (all
+// buckets are loaded once, see snapshotCounts) — only _sum may lag the
+// buckets by in-flight observations.
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, sorted by metric name. Safe on a nil receiver
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value())
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.Value())
+	}
+	for _, h := range hists {
+		writeHistogram(bw, h)
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram: cumulative buckets, +Inf, sum,
+// count. The counts are loaded once so cumulative values are monotone
+// and _count matches the +Inf bucket even under concurrent updates.
+func writeHistogram(w io.Writer, h *Histogram) {
+	counts, total := h.snapshotCounts()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, total)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, total)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SpanStats summarises the span recorder for the JSON snapshot.
+type SpanStats struct {
+	Total    uint64 `json:"total"`
+	Buffered int    `json:"buffered"`
+}
+
+// Snapshot is the JSON view of the registry served on /vars.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Counters      map[string]int64            `json:"counters"`
+	Gauges        map[string]int64            `json:"gauges"`
+	Histograms    map[string]HistogramSummary `json:"histograms"`
+	Spans         SpanStats                   `json:"spans"`
+}
+
+// TakeSnapshot digests the registry into a JSON-friendly snapshot. Safe
+// on a nil receiver (returns an empty snapshot).
+func (r *Registry) TakeSnapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSummary{},
+	}
+	if r == nil {
+		return s
+	}
+	s.UptimeSeconds = r.Uptime().Seconds()
+
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.Summary()
+	}
+	s.Spans = SpanStats{Total: r.spans.Total(), Buffered: r.spans.Buffered()}
+	return s
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ddc_probes_total").Add(1234)
+	r.Counter("ddc_samples_total").Add(1200)
+	r.Gauge("ddc_probes_inflight").Set(3)
+	h := r.Histogram("ddc_probe_duration_seconds", []float64{0.005, 0.01, 0.05, 0.1})
+	h.ObserveSeconds(0.003)
+	h.ObserveSeconds(0.003)
+	h.ObserveSeconds(0.02)
+	h.ObserveSeconds(0.2) // +Inf bucket
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The exposition must be byte-stable across scrapes of an idle
+	// registry (map iteration order must not leak through).
+	var buf2 bytes.Buffer
+	reg := goldenRegistry()
+	_ = reg.WritePrometheus(&buf2)
+	var buf3 bytes.Buffer
+	_ = reg.WritePrometheus(&buf3)
+	if buf2.String() != buf3.String() {
+		t.Error("exposition not stable across consecutive scrapes")
+	}
+}
+
+// parseExposition digests one scrape into name→value for scalar lines and
+// checks histogram invariants in passing.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	vals := map[string]float64{}
+	var lastHist string
+	var lastCum float64
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := fields[0]
+		if i := strings.Index(name, "_bucket{le="); i >= 0 {
+			base := name[:i]
+			if base != lastHist {
+				lastHist, lastCum = base, 0
+			}
+			if v < lastCum {
+				t.Fatalf("cumulative bucket decreased in %q (%v < %v)", line, v, lastCum)
+			}
+			lastCum = v
+			if strings.Contains(name, `le="+Inf"`) {
+				vals[base+"_inf"] = v
+			}
+			continue
+		}
+		vals[name] = v
+	}
+	return vals
+}
+
+func TestPrometheusExpositionUnderConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", nil).Observe(3 * time.Millisecond)
+			}
+		}()
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		vals := parseExposition(t, buf.String())
+		// _count must equal the +Inf bucket within a single scrape: both
+		// come from one atomic load pass.
+		if c, inf := vals["h_seconds_count"], vals["h_seconds_inf"]; c != inf {
+			t.Fatalf("histogram count %v != +Inf bucket %v", c, inf)
+		}
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+	// Final quiesced scrape: counter equals gauge (same update cadence).
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	vals := parseExposition(t, buf.String())
+	if vals["c_total"] != vals["g"] || vals["c_total"] == 0 {
+		t.Fatalf("final counter %v vs gauge %v", vals["c_total"], vals["g"])
+	}
+	if vals["h_seconds_count"] != vals["c_total"] {
+		t.Fatalf("final histogram count %v vs counter %v", vals["h_seconds_count"], vals["c_total"])
+	}
+}

@@ -16,8 +16,13 @@ import (
 //
 //	H : header — format version, start, end, period-seconds
 //	M : machine metadata — id, lab, ram-mb, disk-gb, int-index, fp-index
-//	I : iteration — iter, start-unix, attempted, responded
+//	I : iteration — iter, start, attempted, responded[, end, parse-errors]
 //	S : sample — see sampleRow
+//
+// Iteration records originally carried 4 payload fields; the collector
+// now also books the sweep end time and the iteration's parse-error
+// count. The reader accepts both shapes, so pre-existing traces load
+// unchanged (End stays zero, ParseErrors stays 0).
 //
 // The format is line-oriented and streaming-friendly: a 77-day, 580k-sample
 // trace writes and reads in a couple of seconds.
@@ -42,9 +47,14 @@ func Write(w io.Writer, d *Dataset) error {
 		}
 	}
 	for _, it := range d.Iterations {
+		end := ""
+		if !it.End.IsZero() {
+			end = it.End.UTC().Format(timeFormat)
+		}
 		if err := cw.Write([]string{"I", strconv.Itoa(it.Iter),
 			it.Start.UTC().Format(timeFormat),
-			strconv.Itoa(it.Attempted), strconv.Itoa(it.Responded)}); err != nil {
+			strconv.Itoa(it.Attempted), strconv.Itoa(it.Responded),
+			end, strconv.Itoa(it.ParseErrors)}); err != nil {
 			return err
 		}
 	}
@@ -174,7 +184,7 @@ func Read(r io.Reader) (*Dataset, error) {
 			}
 			d.Machines = append(d.Machines, m)
 		case "I":
-			if len(rec) != 5 {
+			if len(rec) != 5 && len(rec) != 7 {
 				return nil, fmt.Errorf("trace: bad iteration record (%d fields)", len(rec))
 			}
 			var it Iteration
@@ -190,6 +200,16 @@ func Read(r io.Reader) (*Dataset, error) {
 			}
 			if it.Responded, err = strconv.Atoi(rec[4]); err != nil {
 				return nil, fmt.Errorf("trace: iteration responded: %w", err)
+			}
+			if len(rec) == 7 {
+				if rec[5] != "" {
+					if it.End, err = time.Parse(timeFormat, rec[5]); err != nil {
+						return nil, fmt.Errorf("trace: iteration end: %w", err)
+					}
+				}
+				if it.ParseErrors, err = strconv.Atoi(rec[6]); err != nil {
+					return nil, fmt.Errorf("trace: iteration parse errors: %w", err)
+				}
 			}
 			d.Iterations = append(d.Iterations, it)
 		case "S":

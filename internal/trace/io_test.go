@@ -60,10 +60,18 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	for i := range d.Iterations {
 		if got.Iterations[i].Iter != d.Iterations[i].Iter ||
 			!got.Iterations[i].Start.Equal(d.Iterations[i].Start) ||
+			!got.Iterations[i].End.Equal(d.Iterations[i].End) ||
 			got.Iterations[i].Attempted != d.Iterations[i].Attempted ||
-			got.Iterations[i].Responded != d.Iterations[i].Responded {
-			t.Errorf("iteration %d mismatch", i)
+			got.Iterations[i].Responded != d.Iterations[i].Responded ||
+			got.Iterations[i].ParseErrors != d.Iterations[i].ParseErrors {
+			t.Errorf("iteration %d mismatch: %+v != %+v", i, got.Iterations[i], d.Iterations[i])
 		}
+	}
+	if got.Iterations[0].Elapsed() != 3*time.Minute {
+		t.Errorf("iteration 0 elapsed = %v, want 3m", got.Iterations[0].Elapsed())
+	}
+	if got.Iterations[1].Elapsed() != 0 {
+		t.Errorf("zero-End iteration elapsed = %v, want 0", got.Iterations[1].Elapsed())
 	}
 	if len(got.Samples) != len(d.Samples) {
 		t.Fatalf("samples = %d, want %d", len(got.Samples), len(d.Samples))
@@ -110,12 +118,36 @@ func TestReadRejectsGarbage(t *testing.T) {
 		"bad time":        "H,winlab-trace-1,yesterday,2003-10-07T08:00:00Z,900\n",
 		"bad machine ram": "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nM,M1,L01,lots,74.5,30.5,33.1\n",
 		"bad iter":        "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nI,first,2003-10-06T08:00:00Z,2,2\n",
+		"6-field iter":    "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nI,0,2003-10-06T08:00:00Z,2,2,2003-10-06T08:03:00Z\n",
+		"bad iter end":    "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\nI,0,2003-10-06T08:00:00Z,2,2,later,0\n",
 		"empty":           "",
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestReadLegacyIterationRecords: traces written before the collector
+// booked End/ParseErrors carry 4-payload-field iteration records; they
+// must still load, with the new fields zero.
+func TestReadLegacyIterationRecords(t *testing.T) {
+	in := "H,winlab-trace-1,2003-10-06T08:00:00Z,2003-10-07T08:00:00Z,900\n" +
+		"I,0,2003-10-06T08:00:00Z,2,1\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("legacy record rejected: %v", err)
+	}
+	if len(d.Iterations) != 1 {
+		t.Fatalf("iterations = %d", len(d.Iterations))
+	}
+	it := d.Iterations[0]
+	if it.Iter != 0 || it.Attempted != 2 || it.Responded != 1 {
+		t.Errorf("legacy fields mangled: %+v", it)
+	}
+	if !it.End.IsZero() || it.ParseErrors != 0 || it.Elapsed() != 0 {
+		t.Errorf("new fields not zero on legacy record: %+v", it)
 	}
 }
 

@@ -76,8 +76,23 @@ func FromSnapshot(iter int, sn machine.Snapshot) Sample {
 type Iteration struct {
 	Iter      int
 	Start     time.Time
+	End       time.Time // sweep end; zero in traces written before v1.1
 	Attempted int
 	Responded int
+
+	// ParseErrors counts reports of this iteration that were received but
+	// did not parse — machines that responded with garbage rather than
+	// not at all (zero in traces written before v1.1).
+	ParseErrors int
+}
+
+// Elapsed returns the iteration's sweep duration, or zero when End is
+// unset (legacy traces).
+func (it Iteration) Elapsed() time.Duration {
+	if it.Start.IsZero() || it.End.IsZero() {
+		return 0
+	}
+	return it.End.Sub(it.Start)
 }
 
 // MachineInfo is the static per-machine metadata the analysis needs

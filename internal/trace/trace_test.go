@@ -126,8 +126,8 @@ func newDataset() *Dataset {
 		d.Samples[i].Iter = i
 	}
 	d.Iterations = []Iteration{
-		{Iter: 0, Start: t0, Attempted: 2, Responded: 2},
-		{Iter: 1, Start: t0.Add(15 * time.Minute), Attempted: 2, Responded: 1},
+		{Iter: 0, Start: t0, End: t0.Add(3 * time.Minute), Attempted: 2, Responded: 2},
+		{Iter: 1, Start: t0.Add(15 * time.Minute), Attempted: 2, Responded: 1, ParseErrors: 1},
 	}
 	return d
 }
