@@ -4,6 +4,12 @@ GO ?= go
 
 .PHONY: build test verify bench telemetry-demo
 
+# Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
+# drop it locally for steadier numbers. The JSON summary (name → ns/op,
+# B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
+BENCHTIME ?= 1x
+BENCHJSON ?= BENCH_PR3.json
+
 build:
 	$(GO) build ./...
 
@@ -17,7 +23,8 @@ verify:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench . -benchmem
+	$(GO) test -bench . -benchmem -count 1 -benchtime $(BENCHTIME) -timeout 30m \
+	    | $(GO) run ./tools/benchjson -o $(BENCHJSON)
 
 # telemetry-demo runs the live collector with the metrics endpoint and
 # span trace enabled, scrapes it mid-run, and fails if /metrics or

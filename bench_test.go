@@ -32,7 +32,6 @@ import (
 	"winlab/internal/experiment"
 	"winlab/internal/harvest"
 	"winlab/internal/lab"
-	"winlab/internal/machine"
 	"winlab/internal/nbench"
 	"winlab/internal/predictor"
 	"winlab/internal/probe"
@@ -260,12 +259,42 @@ func BenchmarkAblationHarvestCheckpoint(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Infrastructure benchmarks.
 
+// BenchmarkAnalyzeAll measures the parallel analysis driver: every table
+// and figure of the paper computed concurrently over one shared frozen
+// index (bit-identical to the serial per-function calls, see
+// analysis.TestAllMatchesSerial).
+func BenchmarkAnalyzeAll(b *testing.B) {
+	res := dataset(b)
+	b.ResetTimer()
+	var r *analysis.Results
+	for i := 0; i < b.N; i++ {
+		r = analysis.All(res.Dataset, analysis.Options{})
+	}
+	b.ReportMetric(r.Table2.Both.UptimePct, "uptime_%")
+	b.ReportMetric(r.Equivalence.TotalRatio, "equivalence")
+}
+
 // BenchmarkSimulation measures fleet-simulation throughput: one simulated
 // day of the full 169-machine institution per iteration.
 func BenchmarkSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.Default(int64(i + 1))
 		cfg.Days = 1
+		if _, err := experiment.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationWorkers is BenchmarkSimulation with the collector's
+// probe render/parse fan-out enabled (4 workers). The collected trace is
+// identical (see experiment.TestRunWorkersEquivalent); the difference is
+// pure wall time on multi-core hosts.
+func BenchmarkSimulationWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Default(int64(i + 1))
+		cfg.Days = 1
+		cfg.Workers = 4
 		if _, err := experiment.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +341,7 @@ func BenchmarkCollection(b *testing.B) {
 	}
 	now := at.Add(time.Hour)
 	exec := &ddc.Direct{
-		Source: fleetSource{fleet},
+		Source: lab.Source{Fleet: fleet},
 		Now:    func() time.Time { return now },
 	}
 	b.ResetTimer()
@@ -330,17 +359,6 @@ func BenchmarkCollection(b *testing.B) {
 			b.Fatalf("samples = %d", len(ds.Samples))
 		}
 	}
-}
-
-// fleetSource adapts a fleet to the collector's StateSource.
-type fleetSource struct{ fleet *lab.Fleet }
-
-func (f fleetSource) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
-	m := f.fleet.Get(id)
-	if m == nil {
-		return machine.Snapshot{}, false
-	}
-	return m.Snapshot(at)
 }
 
 // BenchmarkTraceWrite measures trace serialisation throughput.

@@ -191,6 +191,7 @@ func main() {
 		Cfg:          ddc.Config{Machines: ids, Period: *period},
 		Exec:         collExec,
 		Post:         sink.Post,
+		Prepare:      sink.Prepare, // parse on the probing worker, commit in machine order
 		Workers:      *workers,
 		ProbeTimeout: *ptimeout,
 		Retry:        ddc.RetryPolicy{MaxAttempts: 1 + *retries, Jitter: 0.5, Seed: *seed},

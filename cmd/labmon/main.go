@@ -16,8 +16,8 @@
 //
 // Usage:
 //
-//	labmon [-seed N] [-days N] [-period 15m] [-trace out.csv[.gz]] [-csvdir dir] [-quiet] [-replicate N]
-//	       [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
+//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-trace out.csv[.gz]] [-csvdir dir] [-quiet]
+//	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
 package main
 
 import (
@@ -93,6 +93,7 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "export figure CSVs into this directory")
 		quiet    = flag.Bool("quiet", false, "suppress the text report")
 		reps     = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
+		workers  = flag.Int("workers", 0, "probe render/parse workers per collector iteration (<=1: sequential; the collected trace is identical either way)")
 		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
 		spansOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 	)
@@ -101,6 +102,7 @@ func main() {
 	cfg := core.DefaultConfig(*seed)
 	cfg.Days = *days
 	cfg.Period = *period
+	cfg.Workers = *workers
 
 	if *metrics != "" || *spansOut != "" {
 		cfg.Telemetry = telemetry.NewRegistry()

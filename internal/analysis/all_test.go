@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"winlab/internal/experiment"
+)
+
+// TestAllMatchesSerial is the determinism contract of the parallel
+// driver: for several seeds, every artefact computed concurrently by All
+// must be deep-equal (bit-identical floats included) to the serial
+// function's output. Run under -race this also exercises the index's
+// concurrent read paths.
+func TestAllMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := experiment.Default(seed)
+		cfg.Days = 3
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d := res.Dataset
+
+		got := All(d, Options{Workers: 4})
+
+		if want := MainResults(d, DefaultForgottenThreshold); !reflect.DeepEqual(got.Table2, want) {
+			t.Errorf("seed %d: Table2 parallel != serial", seed)
+		}
+		if want := SessionAge(d, 24); !reflect.DeepEqual(got.SessionAge, want) {
+			t.Errorf("seed %d: SessionAge parallel != serial", seed)
+		}
+		if want := Availability(d, DefaultForgottenThreshold); !reflect.DeepEqual(got.Availability, want) {
+			t.Errorf("seed %d: Availability parallel != serial", seed)
+		}
+		if want := UptimeRatios(d); !reflect.DeepEqual(got.Uptimes, want) {
+			t.Errorf("seed %d: Uptimes parallel != serial", seed)
+		}
+		if want := Sessions(d, 96*time.Hour, 24); !reflect.DeepEqual(got.Sessions, want) {
+			t.Errorf("seed %d: Sessions parallel != serial", seed)
+		}
+		if want := PowerCycles(d); !reflect.DeepEqual(got.PowerCycles, want) {
+			t.Errorf("seed %d: PowerCycles parallel != serial", seed)
+		}
+		if want := Weekly(d); !reflect.DeepEqual(got.Weekly, want) {
+			t.Errorf("seed %d: Weekly parallel != serial", seed)
+		}
+		if want := Equivalence(d, true); !reflect.DeepEqual(got.Equivalence, want) {
+			t.Errorf("seed %d: Equivalence parallel != serial", seed)
+		}
+		if want := ByLab(d, DefaultForgottenThreshold); !reflect.DeepEqual(got.Labs, want) {
+			t.Errorf("seed %d: Labs parallel != serial", seed)
+		}
+		if want := Capacity(d); !reflect.DeepEqual(got.Capacity, want) {
+			t.Errorf("seed %d: Capacity parallel != serial", seed)
+		}
+
+		// Workers=1 runs the jobs inline and must agree too.
+		serial := All(d, Options{Workers: 1})
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("seed %d: All(Workers=4) != All(Workers=1)", seed)
+		}
+
+		// Spot-check the headline numbers the paper reports are present
+		// and sane (the bit-identical checks above carry the real weight).
+		if got.Table2.Both.UptimePct <= 0 || got.Table2.Both.CPUIdlePct <= 0 {
+			t.Errorf("seed %d: degenerate Table2 %+v", seed, got.Table2.Both)
+		}
+		if got.Sessions.Count == 0 || got.Equivalence.TotalRatio <= 0 {
+			t.Errorf("seed %d: degenerate sessions/equivalence", seed)
+		}
+	}
+}
+
+// TestAllDefaultOptions checks the zero Options value fills the paper's
+// defaults rather than degenerate parameters.
+func TestAllDefaultOptions(t *testing.T) {
+	cfg := experiment.Default(1)
+	cfg.Days = 2
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := All(res.Dataset, Options{})
+	if got.Sessions.HistCap != 96*time.Hour {
+		t.Errorf("HistCap default = %v", got.Sessions.HistCap)
+	}
+	if len(got.SessionAge.Buckets) != 24 {
+		t.Errorf("SessionAge buckets = %d", len(got.SessionAge.Buckets))
+	}
+	if got.Table2.Threshold != DefaultForgottenThreshold {
+		t.Errorf("threshold default = %v", got.Table2.Threshold)
+	}
+}

@@ -70,19 +70,18 @@ type MachineUptime struct {
 }
 
 // UptimeRatios computes the per-machine uptime ratios, sorted in
-// descending order like the paper's Figure 4 (left).
+// descending order like the paper's Figure 4 (left). Per-machine sample
+// counts come straight from the index's spans — no per-call counting
+// pass.
 func UptimeRatios(d *trace.Dataset) []MachineUptime {
 	attempts := len(d.Iterations)
 	if attempts == 0 {
 		return nil
 	}
-	counts := make(map[string]int, len(d.Machines))
-	for i := range d.Samples {
-		counts[d.Samples[i].Machine]++
-	}
+	idx := d.Index()
 	out := make([]MachineUptime, 0, len(d.Machines))
 	for _, m := range d.Machines {
-		ratio := float64(counts[m.ID]) / float64(attempts)
+		ratio := float64(len(idx.Samples(m.ID))) / float64(attempts)
 		out = append(out, MachineUptime{
 			Machine: m.ID,
 			Ratio:   ratio,

@@ -50,7 +50,7 @@ func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
 
 	type slotSum struct{ occ, free float64 }
 	sums := make(map[int]*slotSum, len(d.Iterations))
-	for _, iv := range d.Intervals(2 * d.Period) {
+	for _, iv := range d.Index().Intervals(2 * d.Period) {
 		p, ok := perf[iv.B.Machine]
 		if !ok {
 			continue

@@ -65,7 +65,7 @@ func ByLab(d *trace.Dataset, threshold time.Duration) []LabUsage {
 		}
 		a.freeDisk.Add(s.FreeDiskGB)
 	}
-	for _, iv := range d.Intervals(2 * d.Period) {
+	for _, iv := range d.Index().Intervals(2 * d.Period) {
 		get(labOf[iv.B.Machine]).cpu.Add(iv.CPUIdlePct())
 	}
 

@@ -115,8 +115,11 @@ func TestCapacity(t *testing.T) {
 }
 
 func TestUnusedMemoryPct(t *testing.T) {
-	// Overall RAM load mean: (8×60 + 8×40 + 4×75) / 20 = 55.
-	if got := UnusedMemoryPct(twoLabDataset(), DefaultForgottenThreshold); got != 45 {
+	// Overall RAM load mean: (8×60 + 8×40 + 4×75) / 20 = 55. The running
+	// mean is accumulated in index (machine-sorted) order, so allow
+	// float-rounding slack in the last bits.
+	got := UnusedMemoryPct(twoLabDataset(), DefaultForgottenThreshold)
+	if got < 45-1e-9 || got > 45+1e-9 {
 		t.Errorf("unused memory = %v, want 45", got)
 	}
 }

@@ -38,16 +38,16 @@ type PowerCycleStats struct {
 // samples, plus one: the boot that produced the first sample is itself a
 // cycle that the difference misses.
 func PowerCycles(d *trace.Dataset) PowerCycleStats {
-	byMach := d.ByMachine()
-	days := d.Days()
+	idx := d.Index()
+	days := idx.Days()
 
 	var st PowerCycleStats
 	var perMach, perCycle, lifetime stats.Running
-	for _, ss := range byMach {
+	idx.EachMachine(func(id string, ss []trace.Sample) {
 		if len(ss) == 0 {
-			continue
+			return
 		}
-		first, last := ss[0], ss[len(ss)-1]
+		first, last := &ss[0], &ss[len(ss)-1]
 		cycles := last.PowerCycles - first.PowerCycles + 1
 		if cycles < 1 {
 			cycles = 1
@@ -66,7 +66,7 @@ func PowerCycles(d *trace.Dataset) PowerCycleStats {
 		if last.PowerCycles > 0 {
 			lifetime.Add(float64(last.PowerOnHours) / float64(last.PowerCycles))
 		}
-	}
+	})
 	st.AvgPerMachine = perMach.Mean()
 	st.SDPerMachine = perMach.StdDev()
 	if days > 0 {

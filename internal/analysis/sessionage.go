@@ -33,7 +33,7 @@ func SessionAge(d *trace.Dataset, maxHours int) SessionAgeProfile {
 	}
 	accs := make([]stats.Running, maxHours)
 	maxGap := 2 * d.Period
-	for _, iv := range d.Intervals(maxGap) {
+	for _, iv := range d.Index().Intervals(maxGap) {
 		if !iv.B.HasSession() {
 			continue
 		}

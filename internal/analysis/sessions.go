@@ -48,9 +48,10 @@ type SessionStats struct {
 // that only SMART counters reveal.
 func DetectSessions(d *trace.Dataset) []DetectedSession {
 	var out []DetectedSession
-	for _, ss := range d.ByMachine() {
+	d.Index().EachMachine(func(id string, ss []trace.Sample) {
 		var cur *DetectedSession
-		for _, s := range ss {
+		for i := range ss {
+			s := &ss[i]
 			if cur != nil && trace.SameBoot(&trace.Sample{BootTime: cur.BootTime}, s) {
 				cur.Last = s.Time
 				cur.Length = s.Uptime
@@ -72,7 +73,7 @@ func DetectSessions(d *trace.Dataset) []DetectedSession {
 		if cur != nil {
 			out = append(out, *cur)
 		}
-	}
+	})
 	return out
 }
 

@@ -73,6 +73,7 @@ func (a *table2Acc) column(attempts int) Column {
 // by the later sample of the pair. Interval metrics skip pairs separated
 // by more than twice the sampling period (collector outages).
 func MainResults(d *trace.Dataset, threshold time.Duration) Table2 {
+	idx := d.Index()
 	var no, with, both table2Acc
 
 	for i := range d.Samples {
@@ -90,7 +91,7 @@ func MainResults(d *trace.Dataset, threshold time.Duration) Table2 {
 	}
 
 	maxGap := 2 * d.Period
-	for _, iv := range d.Intervals(maxGap) {
+	for _, iv := range idx.Intervals(maxGap) {
 		acc := &no
 		if Classify(iv.B, threshold).Occupied() {
 			acc = &with
@@ -102,7 +103,7 @@ func MainResults(d *trace.Dataset, threshold time.Duration) Table2 {
 		}
 	}
 
-	attempts := d.Attempts()
+	attempts := idx.Attempts()
 	return Table2{
 		Threshold: threshold,
 		Reclass:   Reclassify(d, threshold),

@@ -28,7 +28,7 @@ func Weekly(d *trace.Dataset) *WeeklyProfiles {
 		w.RAMLoadPct.Add(s.Time, float64(s.MemLoadPct))
 		w.SwapLoad.Add(s.Time, float64(s.SwapLoadPct))
 	}
-	for _, iv := range d.Intervals(2 * d.Period) {
+	for _, iv := range d.Index().Intervals(2 * d.Period) {
 		w.CPUIdlePct.Add(iv.B.Time, iv.CPUIdlePct())
 		w.SentBps.Add(iv.B.Time, iv.SentBps())
 		w.RecvBps.Add(iv.B.Time, iv.RecvBps())
@@ -71,7 +71,7 @@ func SlotClock(slot int) (hour, minute int) {
 // and weekends is the comparison IdlenessWhen(closed) vs IdlenessWhen(open).
 func IdlenessWhen(d *trace.Dataset, pred func(time.Time) bool) stats.Running {
 	var r stats.Running
-	for _, iv := range d.Intervals(2 * d.Period) {
+	for _, iv := range d.Index().Intervals(2 * d.Period) {
 		if pred(iv.B.Time) {
 			r.Add(iv.CPUIdlePct())
 		}

@@ -61,19 +61,23 @@ type Report struct {
 	SurvivalEv  predictor.Evaluation
 }
 
-// Analyze runs the full analysis pipeline on a trace.
+// Analyze runs the full analysis pipeline on a trace. The paper's tables
+// and figures are computed by the parallel driver (analysis.All) over one
+// shared frozen index — identical artefacts to the serial per-function
+// calls, one sort and one interval pairing instead of ten.
 func Analyze(d *trace.Dataset) *Report {
+	a := analysis.All(d, analysis.Options{})
 	r := &Report{
-		Table2:      analysis.MainResults(d, analysis.DefaultForgottenThreshold),
-		SessionAge:  analysis.SessionAge(d, 24),
-		Avail:       analysis.Availability(d, analysis.DefaultForgottenThreshold),
-		Uptimes:     analysis.UptimeRatios(d),
-		Sessions:    analysis.Sessions(d, 96*time.Hour, 24),
-		PowerCycles: analysis.PowerCycles(d),
-		Weekly:      analysis.Weekly(d),
-		Equivalence: analysis.Equivalence(d, true),
-		Labs2:       analysis.ByLab(d, analysis.DefaultForgottenThreshold),
-		Capacity:    analysis.Capacity(d),
+		Table2:      a.Table2,
+		SessionAge:  a.SessionAge,
+		Avail:       a.Availability,
+		Uptimes:     a.Uptimes,
+		Sessions:    a.Sessions,
+		PowerCycles: a.PowerCycles,
+		Weekly:      a.Weekly,
+		Equivalence: a.Equivalence,
+		Labs2:       a.Labs,
+		Capacity:    a.Capacity,
 	}
 	r.Survival = predictor.Fit(d, time.Hour)
 	r.SurvivalEv = r.Survival.Evaluate(d)

@@ -41,6 +41,34 @@ type ContextExecutor interface {
 	ExecContext(ctx context.Context, machineID string) (stdout []byte, err error)
 }
 
+// ProbeJob is the deferred half of a probe execution: everything
+// time-sensitive (snapshotting the target's state at the scheduled
+// instant) has already happened, and calling the job performs the
+// remaining pure work — rendering the report bytes. Jobs are independent
+// and safe to run concurrently with one another.
+type ProbeJob func() []byte
+
+// DeferredExecutor is implemented by executors whose probe splits into a
+// cheap, order-sensitive scheduling step and a pure rendering step. Begin
+// runs the scheduling step now (capturing machine state at the current
+// instant) and returns the render job, or an error when the machine is
+// unreachable. The collector may then execute the returned jobs on worker
+// goroutines without perturbing probe timing, which is what makes the
+// parallel collection path bit-identical to the sequential one.
+type DeferredExecutor interface {
+	Executor
+	Begin(machineID string) (ProbeJob, error)
+}
+
+// PrepareCollect is the two-phase variant of PostCollect for sinks that
+// can split their per-probe work into a pure parse phase and a mutating
+// commit phase. The function itself may be called concurrently across a
+// single iteration's probes (it must only touch the arguments and
+// synchronised state); the commit closures it returns are invoked
+// serially in machine order, exactly like plain PostCollect calls, so
+// sink state mutates in the same deterministic order either way.
+type PrepareCollect func(iter int, machineID string, stdout []byte, err error) (commit func())
+
 // execProbe runs one probe through e, using the context-aware path when
 // the executor supports it.
 func execProbe(ctx context.Context, e Executor, machineID string) ([]byte, error) {

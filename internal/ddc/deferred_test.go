@@ -1,0 +1,213 @@
+package ddc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"winlab/internal/machine"
+	"winlab/internal/probe"
+	"winlab/internal/sim"
+	"winlab/internal/telemetry"
+)
+
+// TestDirectBeginCapturesStateAtBeginTime pins the DeferredExecutor
+// contract: the snapshot is taken when Begin runs, so executing the job
+// later — after the machine changed state — still renders the state at
+// Begin time. This is what lets the collector defer rendering to workers
+// without perturbing what the probe observed.
+func TestDirectBeginCapturesStateAtBeginTime(t *testing.T) {
+	m := newMachine("M1")
+	m.PowerOn(t0)
+	now := t0.Add(10 * time.Minute)
+	d := &Direct{Source: multiSource{ms: map[string]*machine.Machine{"M1": m}}, Now: func() time.Time { return now }}
+
+	job, err := d.Begin("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the world after Begin: power the machine off and move time.
+	m.PowerOff(now)
+	now = now.Add(time.Hour)
+
+	sn, perr := probe.Parse(job())
+	if perr != nil {
+		t.Fatalf("deferred render unparseable: %v", perr)
+	}
+	if sn.Uptime != 10*time.Minute {
+		t.Errorf("deferred render observed uptime %v, want the Begin-time 10m", sn.Uptime)
+	}
+	if _, err := d.Begin("M1"); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("powered-off Begin error = %v", err)
+	}
+}
+
+// runSimCollection builds a 3-machine fleet (one powered off), runs a
+// 4-iteration sim collection with the given worker count, and returns the
+// sink, the collector stats, the rendered metrics and the recorded spans.
+func runSimCollection(t *testing.T, workers int) (*DatasetSink, Stats, string, []telemetry.Span) {
+	t.Helper()
+	src := multiSource{ms: map[string]*machine.Machine{}}
+	for _, id := range []string{"M1", "M3"} {
+		m := newMachine(id)
+		m.PowerOn(t0.Add(-time.Hour))
+		src.ms[id] = m
+	}
+	src.ms["M2"] = newMachine("M2") // never powered on: unreachable
+
+	reg := telemetry.NewRegistry()
+	eng := sim.New(t0)
+	end := t0.Add(46 * time.Minute)
+	sink := NewDatasetSink(t0, end, 15*time.Minute, nil).WithTelemetry(reg)
+	coll := &SimCollector{
+		Cfg: Config{
+			Machines:    []string{"M1", "M2", "M3"},
+			Period:      15 * time.Minute,
+			LatencyOK:   func() time.Duration { return time.Second },
+			LatencyFail: func() time.Duration { return 4 * time.Second },
+		},
+		Exec:      &Direct{Source: src, Now: eng.Now},
+		Post:      sink.Post,
+		Prepare:   sink.Prepare,
+		Workers:   workers,
+		Telemetry: reg,
+	}
+	coll.OnIteration = sink.OnIteration
+	if err := coll.Install(eng, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return sink, coll.Stats(), buf.String(), reg.Spans().Snapshot()
+}
+
+// TestSimCollectorWorkersEquivalent is the determinism contract of the
+// deferred collection path: a Workers=4 run must produce the same
+// dataset, the same run stats, the same metrics and the same spans as the
+// sequential run — bit for bit. Under -race this also exercises the
+// render/parse fan-out.
+func TestSimCollectorWorkersEquivalent(t *testing.T) {
+	sink1, st1, prom1, spans1 := runSimCollection(t, 0)
+	sink4, st4, prom4, spans4 := runSimCollection(t, 4)
+
+	ds1, err1 := sink1.Dataset()
+	ds4, err4 := sink4.Dataset()
+	if err1 != nil || err4 != nil {
+		t.Fatalf("dataset errors: %v / %v", err1, err4)
+	}
+	if len(ds1.Samples) == 0 || len(ds1.Iterations) != 4 {
+		t.Fatalf("degenerate serial run: %d samples, %d iterations", len(ds1.Samples), len(ds1.Iterations))
+	}
+	if !reflect.DeepEqual(ds1.Samples, ds4.Samples) {
+		t.Error("samples differ between Workers=0 and Workers=4")
+	}
+	if !reflect.DeepEqual(ds1.Iterations, ds4.Iterations) {
+		t.Error("iterations differ between Workers=0 and Workers=4")
+	}
+	if !reflect.DeepEqual(st1, st4) {
+		t.Errorf("stats differ:\nserial   %+v\ndeferred %+v", st1, st4)
+	}
+	if prom1 != prom4 {
+		t.Errorf("metrics differ:\nserial:\n%s\ndeferred:\n%s", prom1, prom4)
+	}
+	// Spans are wall-clock stamped at Record time; everything else — order
+	// included — must match.
+	strip := func(ss []telemetry.Span) []telemetry.Span {
+		out := make([]telemetry.Span, len(ss))
+		for i, sp := range ss {
+			sp.Time = time.Time{}
+			out[i] = sp
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(spans1), strip(spans4)) {
+		t.Error("spans differ between Workers=0 and Workers=4")
+	}
+}
+
+// deferredFake is a DeferredExecutor with scripted payloads, for driving
+// the deferred path through outcomes Direct cannot produce (garbage
+// reports → Prepare's parse-error branch).
+type deferredFake struct {
+	up      map[string]bool
+	payload func(id string) []byte
+}
+
+func (f *deferredFake) Exec(id string) ([]byte, error) {
+	job, err := f.Begin(id)
+	if err != nil {
+		return nil, err
+	}
+	return job(), nil
+}
+
+func (f *deferredFake) Begin(id string) (ProbeJob, error) {
+	if !f.up[id] {
+		return nil, ErrUnreachable
+	}
+	return func() []byte { return f.payload(id) }, nil
+}
+
+// TestDeferredParseErrorsMatchSerial checks the deferred path books parse
+// errors (concurrently prepared, serially committed) exactly like the
+// sequential path: same counts, same per-iteration attribution.
+func TestDeferredParseErrorsMatchSerial(t *testing.T) {
+	m := newMachine("M1")
+	m.PowerOn(t0)
+	sn, _ := m.Snapshot(t0.Add(5 * time.Minute))
+	good := probe.Render(sn)
+
+	run := func(workers int) *DatasetSink {
+		exec := &deferredFake{
+			up: map[string]bool{"M1": true, "M2": true},
+			payload: func(id string) []byte {
+				if id == "M2" {
+					return []byte("garbage")
+				}
+				return good
+			},
+		}
+		eng := sim.New(t0)
+		end := t0.Add(16 * time.Minute) // iterations at 0 and 15
+		sink := NewDatasetSink(t0, end, 15*time.Minute, nil)
+		coll := &SimCollector{
+			Cfg: Config{
+				Machines:    []string{"M1", "M2"},
+				Period:      15 * time.Minute,
+				LatencyOK:   func() time.Duration { return time.Second },
+				LatencyFail: func() time.Duration { return 4 * time.Second },
+			},
+			Exec:    exec,
+			Post:    sink.Post,
+			Prepare: sink.Prepare,
+			Workers: workers,
+		}
+		coll.OnIteration = sink.OnIteration
+		if err := coll.Install(eng, t0, end); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return sink
+	}
+
+	serial, deferred := run(1), run(3)
+	if serial.ParseErrors != 2 || deferred.ParseErrors != 2 {
+		t.Fatalf("parse errors: serial %d, deferred %d, want 2", serial.ParseErrors, deferred.ParseErrors)
+	}
+	ds1, e1 := serial.Dataset()
+	ds2, e2 := deferred.Dataset()
+	if e1 == nil || e2 == nil {
+		t.Fatal("parse error not surfaced by Dataset()")
+	}
+	if !reflect.DeepEqual(ds1.Samples, ds2.Samples) || !reflect.DeepEqual(ds1.Iterations, ds2.Iterations) {
+		t.Error("datasets differ between serial and deferred parse-error runs")
+	}
+	if ds1.Iterations[0].ParseErrors != 1 || ds1.Iterations[1].ParseErrors != 1 {
+		t.Errorf("per-iteration parse-error attribution: %+v", ds1.Iterations)
+	}
+}

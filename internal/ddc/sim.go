@@ -2,6 +2,7 @@ package ddc
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"winlab/internal/machine"
@@ -26,13 +27,27 @@ type Direct struct {
 	Now    func() time.Time
 }
 
-// Exec renders the probe report for the machine, or ErrUnreachable.
+// Exec renders the probe report for the machine, or ErrUnreachable. It
+// deliberately does not route through Begin: the sequential hot path
+// must not pay Begin's job-closure allocation.
 func (d *Direct) Exec(machineID string) ([]byte, error) {
 	sn, ok := d.Source.Snapshot(machineID, d.Now())
 	if !ok {
 		return nil, ErrUnreachable
 	}
 	return probe.Render(sn), nil
+}
+
+// Begin implements DeferredExecutor: the snapshot — the only part of the
+// probe that depends on *when* it runs — is taken now, and the returned
+// job renders the report from that captured state whenever (and on
+// whatever goroutine) the collector pleases.
+func (d *Direct) Begin(machineID string) (ProbeJob, error) {
+	sn, ok := d.Source.Snapshot(machineID, d.Now())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return func() []byte { return probe.Render(sn) }, nil
 }
 
 // ExecContext implements ContextExecutor. The probe itself is in-process
@@ -51,6 +66,24 @@ type SimCollector struct {
 	Cfg  Config
 	Exec Executor
 	Post PostCollect
+
+	// Workers > 1 enables the deferred collection path when Exec
+	// implements DeferredExecutor: probe *scheduling* (snapshots, latency
+	// draws, telemetry) stays a serial event chain — it has to, the probe
+	// at index i runs at sim-time start+Σ(latencies 0..i-1) — but the pure
+	// render work is queued and fanned across Workers goroutines at the
+	// end of the iteration, with post-collection committed serially in
+	// machine order. The collected dataset, stats and telemetry are
+	// bit-identical to the sequential path (asserted by
+	// TestSimCollectorWorkersEquivalent). Zero or one keeps the fully
+	// sequential paper-faithful loop.
+	Workers int
+
+	// Prepare, when set, replaces Post on the deferred path: the parse
+	// half runs on the worker that rendered the report, the commit half
+	// serially in machine order. Ignored unless the deferred path is
+	// active (Workers > 1 and Exec implements DeferredExecutor).
+	Prepare PrepareCollect
 
 	// OnIteration, when set, is called when an iteration finishes with the
 	// number of machines that responded. SimCollector models the paper's
@@ -96,10 +129,19 @@ func (c *SimCollector) Install(eng *sim.Engine, start, end time.Time) error {
 }
 
 // runIteration probes the machines sequentially as a chain of events, each
-// delayed by the previous probe's latency.
+// delayed by the previous probe's latency. With Workers > 1 and a
+// deferred-capable executor the chain only *schedules* (snapshot + latency
+// draw per probe, in order); rendering and parsing happen at iteration
+// end across the worker pool.
 func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) {
 	c.stats.Iterations++
 	c.tel.iterations.Inc()
+	if c.Workers > 1 {
+		if de, ok := c.Exec.(DeferredExecutor); ok {
+			c.runIterationDeferred(eng, de, iter, start)
+			return
+		}
+	}
 	responded := 0
 	probes := 0
 	var step func(e *sim.Engine, idx int)
@@ -118,31 +160,125 @@ func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) 
 		}
 		id := c.Cfg.Machines[idx]
 		out, err := c.Exec.Exec(id)
-		c.stats.Attempts++
 		probes++
-		c.tel.probes.Inc()
-		var lat time.Duration
-		if err != nil {
-			lat = c.Cfg.latFail()
-			c.tel.failures.Inc()
-		} else {
-			lat = c.Cfg.latOK()
-			c.stats.Samples++
+		if err == nil {
 			responded++
-			c.tel.samples.Inc()
 		}
-		c.tel.probeDuration.Observe(lat)
-		if c.tel.spans != nil {
-			outcome := telemetry.OutcomeOK
-			if err != nil {
-				outcome = telemetry.OutcomeError
-			}
-			c.tel.span(id, iter, 1, lat, outcome, err)
-		}
+		lat := c.accountProbe(id, iter, err)
 		if c.Post != nil {
 			c.Post(iter, id, out, err)
 		}
 		e.After(lat, "ddc-probe", func(e2 *sim.Engine) { step(e2, idx+1) })
 	}
 	step(eng, 0)
+}
+
+// accountProbe books one probe attempt into the run stats and telemetry
+// and returns the latency the iteration chain must charge for it. Both
+// the sequential and the deferred paths call it at the probe's scheduled
+// instant, so counters, histograms and spans are identical either way.
+func (c *SimCollector) accountProbe(id string, iter int, err error) time.Duration {
+	c.stats.Attempts++
+	c.tel.probes.Inc()
+	var lat time.Duration
+	if err != nil {
+		lat = c.Cfg.latFail()
+		c.tel.failures.Inc()
+	} else {
+		lat = c.Cfg.latOK()
+		c.stats.Samples++
+		c.tel.samples.Inc()
+	}
+	c.tel.probeDuration.Observe(lat)
+	if c.tel.spans != nil {
+		outcome := telemetry.OutcomeOK
+		if err != nil {
+			outcome = telemetry.OutcomeError
+		}
+		c.tel.span(id, iter, 1, lat, outcome, err)
+	}
+	return lat
+}
+
+// runIterationDeferred is the Workers > 1 iteration: the event chain calls
+// Begin (snapshot now, render later) and draws latencies exactly like the
+// sequential loop, queueing the pure render jobs; the final event fans
+// them across the pool and commits results serially in machine order.
+func (c *SimCollector) runIterationDeferred(eng *sim.Engine, de DeferredExecutor, iter int, start time.Time) {
+	n := len(c.Cfg.Machines)
+	jobs := make([]ProbeJob, n)
+	errs := make([]error, n)
+	responded := 0
+	var step func(e *sim.Engine, idx int)
+	step = func(e *sim.Engine, idx int) {
+		if idx >= n {
+			c.finishDeferred(e, iter, start, responded, jobs, errs)
+			return
+		}
+		id := c.Cfg.Machines[idx]
+		job, err := de.Begin(id)
+		jobs[idx], errs[idx] = job, err
+		if err == nil {
+			responded++
+		}
+		lat := c.accountProbe(id, iter, err)
+		e.After(lat, "ddc-probe", func(e2 *sim.Engine) { step(e2, idx+1) })
+	}
+	step(eng, 0)
+}
+
+// finishDeferred renders the iteration's queued probe jobs across the
+// worker pool — and, when a Prepare hook is wired, parses them there too —
+// then commits post-collection serially in machine order. Runs at the
+// same simulated instant the sequential path fires its OnIteration.
+func (c *SimCollector) finishDeferred(e *sim.Engine, iter int, start time.Time, responded int, jobs []ProbeJob, errs []error) {
+	n := len(jobs)
+	outs := make([][]byte, n)
+	var commits []func()
+	if c.Prepare != nil {
+		commits = make([]func(), n)
+	}
+	workers := c.Workers
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if jobs[i] != nil {
+					outs[i] = jobs[i]()
+				}
+				if commits != nil {
+					commits[i] = c.Prepare(iter, c.Cfg.Machines[i], outs[i], errs[i])
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		switch {
+		case commits != nil:
+			if commits[i] != nil {
+				commits[i]()
+			}
+		case c.Post != nil:
+			c.Post(iter, c.Cfg.Machines[i], outs[i], errs[i])
+		}
+	}
+	end := e.Now()
+	c.tel.iterationDuration.Observe(end.Sub(start))
+	if c.OnIteration != nil {
+		c.OnIteration(IterationInfo{
+			Iter: iter, Start: start, End: end,
+			Attempted: n, Responded: responded, Probes: n,
+		})
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"winlab/internal/machine"
 	"winlab/internal/probe"
 	"winlab/internal/telemetry"
 	"winlab/internal/trace"
@@ -53,12 +54,34 @@ func (s *DatasetSink) WithTelemetry(reg *telemetry.Registry) *DatasetSink {
 	return s
 }
 
-// Post is the PostCollect hook.
+// Post is the PostCollect hook: parse and commit in one call. It stays
+// closure-free — the sequential collector calls it once per probe on the
+// hot path.
 func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error) {
 	if err != nil {
 		return // unreachable machine: no sample
 	}
 	sn, perr := probe.Parse(stdout)
+	s.commit(iter, machineID, sn, perr)
+}
+
+// Prepare is the PrepareCollect hook: the report parse — the expensive,
+// pure half of post-collection — runs on the calling goroutine (safe to
+// fan across an iteration's probes), and the returned commit closure
+// mutates the dataset under the sink lock. Collectors invoke commits
+// serially in machine order, so the accumulated dataset is byte-identical
+// to the single-phase Post path. A nil return means there is nothing to
+// commit (unreachable machine).
+func (s *DatasetSink) Prepare(iter int, machineID string, stdout []byte, err error) func() {
+	if err != nil {
+		return nil // unreachable machine: no sample
+	}
+	sn, perr := probe.Parse(stdout)
+	return func() { s.commit(iter, machineID, sn, perr) }
+}
+
+// commit books one parsed report (or parse failure) into the dataset.
+func (s *DatasetSink) commit(iter int, machineID string, sn machine.Snapshot, perr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if perr != nil {

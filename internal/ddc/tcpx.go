@@ -334,6 +334,13 @@ type WallCollector struct {
 	Post    PostCollect
 	Workers int // concurrent probes per iteration; ≤1 means sequential
 
+	// Prepare, when set, replaces Post: the parse half of post-collection
+	// runs on the worker that probed the machine (concurrently, when
+	// Workers > 1), and the commit closures run serially in machine order
+	// in the sweep's post-pass — same ordering guarantee as Post, minus
+	// the serial parse bottleneck.
+	Prepare PrepareCollect
+
 	// ProbeTimeout is the per-probe deadline, enforced through the
 	// executor's context-aware path when available. Zero means no
 	// collector-side deadline (the executor's own timeout still applies).
@@ -389,7 +396,8 @@ type probeOutcome struct {
 	out      []byte
 	err      error
 	attempts int
-	skipped  bool // breaker-open skip: no probe was executed
+	skipped  bool   // breaker-open skip: no probe was executed
+	commit   func() // prepared post-collect commit (Prepare sinks only)
 }
 
 // probeWithRetry runs the per-probe attempt loop: deadline, bounded
@@ -464,10 +472,19 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 		probeIdx = append(probeIdx, i)
 	}
 
-	// Dispatch the admitted probes, sequentially or across workers.
+	// Dispatch the admitted probes, sequentially or across workers. With a
+	// Prepare sink the parse happens here too, on the goroutine that ran
+	// the probe; only the commit is left for the serial post-pass.
+	probeOne := func(i int) {
+		results[i] = w.probeWithRetry(ctx, iter, w.Cfg.Machines[i], tel)
+		if w.Prepare != nil {
+			r := &results[i]
+			r.commit = w.Prepare(iter, w.Cfg.Machines[i], r.out, r.err)
+		}
+	}
 	if w.Workers <= 1 {
 		for _, i := range probeIdx {
-			results[i] = w.probeWithRetry(ctx, iter, w.Cfg.Machines[i], tel)
+			probeOne(i)
 		}
 	} else {
 		sem := make(chan struct{}, w.Workers)
@@ -479,7 +496,7 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i] = w.probeWithRetry(ctx, iter, w.Cfg.Machines[i], tel)
+				probeOne(i)
 			}()
 		}
 		wg.Wait()
@@ -520,7 +537,17 @@ func (w *WallCollector) sweep(ctx context.Context, iter int, st *Stats, states m
 		if ms.open {
 			info.BreakerOpen++
 		}
-		if w.Post != nil {
+		switch {
+		case r.commit != nil:
+			r.commit()
+		case w.Prepare != nil:
+			// Breaker-skipped machines never reached the dispatch phase;
+			// prepare-and-commit inline (cheap: err is always non-nil here,
+			// and Prepare may return nil when there is nothing to commit).
+			if c := w.Prepare(iter, id, r.out, r.err); c != nil {
+				c()
+			}
+		case w.Post != nil:
 			w.Post(iter, id, r.out, r.err)
 		}
 	}

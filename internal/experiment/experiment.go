@@ -12,7 +12,6 @@ import (
 	"winlab/internal/behavior"
 	"winlab/internal/ddc"
 	"winlab/internal/lab"
-	"winlab/internal/machine"
 	"winlab/internal/rng"
 	"winlab/internal/sim"
 	"winlab/internal/telemetry"
@@ -41,6 +40,14 @@ type Config struct {
 	// -metrics-addr scrape can watch the run live. Nil keeps the run
 	// uninstrumented.
 	Telemetry *telemetry.Registry
+
+	// Workers > 1 fans each iteration's probe rendering and report
+	// parsing across that many goroutines (the simulated schedule — probe
+	// instants, latencies, outage windows — stays sequential, so the
+	// collected trace, collector stats and telemetry are bit-identical to
+	// a Workers ≤ 1 run; see TestRunWorkersEquivalent). Zero or one keeps
+	// the fully sequential collection loop.
+	Workers int
 }
 
 // Default returns the configuration reproducing the paper's experiment.
@@ -68,17 +75,6 @@ type Result struct {
 	Fleet     *lab.Fleet      // ground-truth power/session logs live here
 	Model     *behavior.Model // behaviour diagnostics (boots, forgets, ...)
 	Collector ddc.Stats
-}
-
-// fleetSource adapts the fleet to the collector's StateSource.
-type fleetSource struct{ fleet *lab.Fleet }
-
-func (f fleetSource) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
-	m := f.fleet.Get(id)
-	if m == nil {
-		return machine.Snapshot{}, false
-	}
-	return m.Snapshot(at)
 }
 
 // Run executes the full experiment.
@@ -125,10 +121,12 @@ func Run(cfg Config) (*Result, error) {
 			Outages: GenerateOutages(cfg),
 		},
 		Exec: &ddc.Direct{
-			Source: fleetSource{fleet},
+			Source: lab.Source{Fleet: fleet},
 			Now:    eng.Now,
 		},
-		Post: sink.Post,
+		Post:    sink.Post,
+		Workers: cfg.Workers,
+		Prepare: sink.Prepare,
 	}
 	coll.OnIteration = sink.OnIteration
 	if err := coll.Install(eng, start, end); err != nil {
@@ -161,6 +159,14 @@ func GenerateOutages(cfg Config) []ddc.Outage {
 	src := rng.Derive(cfg.Seed, "outages")
 	total := time.Duration(cfg.Days) * 24 * time.Hour
 	target := time.Duration(float64(total) * cfg.OutageFraction)
+	// An outage fraction ≥ 1 (or a short experiment with a long mean
+	// outage) used to push a drawn length past the experiment span, making
+	// the start-offset draw Uniform(0, negative) and placing the outage
+	// before the experiment began. Clamp both to the span; the clamps are
+	// no-ops for every sane configuration, so existing seeds reproduce.
+	if target > total {
+		target = total
+	}
 	mean := cfg.OutageMeanLen
 	if mean <= 0 {
 		mean = 3 * time.Hour
@@ -171,6 +177,9 @@ func GenerateOutages(cfg Config) []ddc.Outage {
 		length := time.Duration(src.Exponential(float64(mean)))
 		if length < cfg.Period {
 			length = cfg.Period
+		}
+		if length > total {
+			length = total
 		}
 		if acc+length > target {
 			length = target - acc

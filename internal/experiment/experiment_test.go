@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -115,6 +116,60 @@ func TestGenerateOutages(t *testing.T) {
 	cfg.OutageFraction = 0
 	if GenerateOutages(cfg) != nil {
 		t.Error("outages generated with zero fraction")
+	}
+}
+
+// TestGenerateOutagesShortExperimentClamped is the regression for the
+// negative-span bug: a one-day experiment with an outage fraction ≥ 1 and
+// a long mean outage used to draw a length exceeding the experiment and
+// feed Uniform a negative span, placing outages before the start. Every
+// generated window must lie inside the experiment.
+func TestGenerateOutagesShortExperimentClamped(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := Default(seed)
+		cfg.Days = 1
+		cfg.OutageFraction = 1.5
+		cfg.OutageMeanLen = 200 * time.Hour
+		for _, o := range GenerateOutages(cfg) {
+			if !o.End.After(o.Start) {
+				t.Fatalf("seed %d: bad outage %+v", seed, o)
+			}
+			if o.Start.Before(cfg.Start) || o.End.After(cfg.End()) {
+				t.Fatalf("seed %d: outage %+v outside experiment [%v, %v]",
+					seed, o, cfg.Start, cfg.End())
+			}
+		}
+	}
+}
+
+// TestRunWorkersEquivalent is the end-to-end determinism contract of the
+// parallel collection path: a Workers=8 run must collect the exact trace
+// a sequential run collects — samples, iterations and collector stats all
+// deep-equal. Under -race this exercises the render/parse fan-out against
+// the live simulated fleet.
+func TestRunWorkersEquivalent(t *testing.T) {
+	cfg := Default(3)
+	cfg.Days = 2
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Dataset.Samples) == 0 {
+		t.Fatal("degenerate serial run")
+	}
+	if !reflect.DeepEqual(serial.Dataset.Samples, par.Dataset.Samples) {
+		t.Error("samples differ between sequential and Workers=8 runs")
+	}
+	if !reflect.DeepEqual(serial.Dataset.Iterations, par.Dataset.Iterations) {
+		t.Error("iterations differ between sequential and Workers=8 runs")
+	}
+	if !reflect.DeepEqual(serial.Collector, par.Collector) {
+		t.Errorf("collector stats differ:\nserial   %+v\nparallel %+v", serial.Collector, par.Collector)
 	}
 }
 

@@ -89,14 +89,18 @@ func Run(d *trace.Dataset, cfg Config) (Result, error) {
 	res := Result{Config: cfg}
 	maxGap := 2 * d.Period
 
-	for id, ss := range d.ByMachine() {
+	// Walk the frozen index in sorted machine order: no per-call re-sort,
+	// and a deterministic float accumulation order (the pre-index map
+	// iteration made the last bits of the totals vary run to run).
+	d.Index().EachMachine(func(id string, ss []trace.Sample) {
 		p := perf[id]
 		if p == 0 || len(ss) == 0 {
-			continue
+			return
 		}
 		st := machineState{lastCkpt: ss[0].Time}
 		var prev *trace.Sample
-		for _, s := range ss {
+		for i := range ss {
+			s := &ss[i]
 			if prev != nil {
 				gap := s.Time.Sub(prev.Time)
 				switch {
@@ -114,7 +118,7 @@ func Run(d *trace.Dataset, cfg Config) (Result, error) {
 		// Work in flight at the end of the experiment is neither committed
 		// nor lost; count its checkpointed part as harvested.
 		res.HarvestedWork += st.checkpointed
-	}
+	})
 
 	hours := d.End.Sub(d.Start).Hours()
 	if fleetIndex > 0 && hours > 0 {

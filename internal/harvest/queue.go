@@ -83,27 +83,29 @@ func RunQueue(d *trace.Dataset, cfg QueueConfig) (QueueResult, error) {
 	}
 
 	// Global time-ordered interval stream, with reboot markers: a change of
-	// boot (or a long gap) evicts whatever the machine was running.
+	// boot (or a long gap) evicts whatever the machine was running. The
+	// frozen index supplies the per-machine runs already sorted.
+	idx := d.Index()
 	var stream []timedInterval
 	evictAt := map[string][]time.Time{}
 	maxGap := 2 * d.Period
-	for id, ss := range d.ByMachine() {
+	idx.EachMachine(func(id string, ss []trace.Sample) {
 		p := perf[id]
 		if p == 0 {
-			continue
+			return
 		}
 		if cfg.MachineFilter != nil && !cfg.MachineFilter(id) {
-			continue
+			return
 		}
 		for i := 1; i < len(ss); i++ {
-			a, b := ss[i-1], ss[i]
+			a, b := &ss[i-1], &ss[i]
 			if trace.SameBoot(a, b) && b.Time.Sub(a.Time) <= maxGap {
 				stream = append(stream, timedInterval{iv: trace.Interval{A: a, B: b}, perf: p})
 			} else {
 				evictAt[id] = append(evictAt[id], b.Time)
 			}
 		}
-	}
+	})
 	sort.Slice(stream, func(i, j int) bool {
 		a, b := stream[i].iv.B, stream[j].iv.B
 		if !a.Time.Equal(b.Time) {
@@ -215,8 +217,10 @@ func RunQueue(d *trace.Dataset, cfg QueueConfig) (QueueResult, error) {
 		// LostWork/Evictions would be undercounted. (When the bag drained
 		// early the remaining replicas are duplicates of completed tasks
 		// and are accounted as waste below instead.)
-		for id, evs := range evictAt {
-			if evIdx[id] < len(evs) {
+		// Sorted machine order keeps the LostWork accumulation
+		// deterministic.
+		for _, id := range idx.Machines() {
+			if evs := evictAt[id]; evIdx[id] < len(evs) {
 				evict(id)
 				evIdx[id] = len(evs)
 			}
@@ -224,9 +228,11 @@ func RunQueue(d *trace.Dataset, cfg QueueConfig) (QueueResult, error) {
 	}
 	// Whatever is still running when the bag drains (duplicate replicas of
 	// completed tasks) or when the trace ends (abandoned in-flight work)
-	// is waste either way.
-	for _, r := range running {
-		res.WastedWork += r.progress
+	// is waste either way. Sorted order for deterministic accumulation.
+	for _, id := range idx.Machines() {
+		if r := running[id]; r != nil {
+			res.WastedWork += r.progress
+		}
 	}
 	return res, nil
 }

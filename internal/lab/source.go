@@ -1,0 +1,23 @@
+package lab
+
+import (
+	"time"
+
+	"winlab/internal/machine"
+)
+
+// Source adapts a Fleet to the collector's StateSource interface
+// (ddc.StateSource is satisfied structurally): Snapshot probes the named
+// machine at the given instant, reporting ok=false for unknown or
+// unreachable machines. It is the one canonical fleet→collector adapter;
+// the experiment driver and the benchmarks both use it.
+type Source struct{ Fleet *Fleet }
+
+// Snapshot implements the collector's StateSource.
+func (s Source) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
+	m := s.Fleet.Get(id)
+	if m == nil {
+		return machine.Snapshot{}, false
+	}
+	return m.Snapshot(at)
+}

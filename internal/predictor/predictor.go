@@ -63,7 +63,7 @@ func weekHour(t time.Time) int {
 //     could exist, skipped.
 //
 // The scan is O(samples) per machine.
-func observe(ss []*trace.Sample, horizon, period time.Duration, limit time.Time, fn func(i int, survived float64)) {
+func observe(ss []trace.Sample, horizon, period time.Duration, limit time.Time, fn func(i int, survived float64)) {
 	if len(ss) == 0 {
 		return
 	}
@@ -71,7 +71,7 @@ func observe(ss []*trace.Sample, horizon, period time.Duration, limit time.Time,
 	// runEnd[i] is the time of the last sample sharing sample i's boot.
 	runEnd := make([]time.Time, len(ss))
 	for i := len(ss) - 1; i >= 0; i-- {
-		if i < len(ss)-1 && trace.SameBoot(ss[i], ss[i+1]) {
+		if i < len(ss)-1 && trace.SameBoot(&ss[i], &ss[i+1]) {
 			runEnd[i] = runEnd[i+1]
 		} else {
 			runEnd[i] = ss[i].Time
@@ -104,7 +104,7 @@ func Fit(d *trace.Dataset, horizon time.Duration) *Model {
 		perMachine: make(map[string]*stats.Running),
 	}
 	limit := collectorLimit(d)
-	for id, ss := range d.ByMachine() {
+	d.Index().EachMachine(func(id string, ss []trace.Sample) {
 		pm := &stats.Running{}
 		m.perMachine[id] = pm
 		observe(ss, horizon, d.Period, limit, func(i int, survived float64) {
@@ -112,7 +112,7 @@ func Fit(d *trace.Dataset, horizon time.Duration) *Model {
 			pm.Add(survived)
 			m.overall.Add(survived)
 		})
-	}
+	})
 	return m
 }
 
@@ -233,7 +233,7 @@ func (m *Model) Evaluate(d *trace.Dataset) Evaluation {
 	var brier, baseBrier, rate stats.Running
 	base := m.overall.Mean()
 	limit := collectorLimit(d)
-	for id, ss := range d.ByMachine() {
+	d.Index().EachMachine(func(id string, ss []trace.Sample) {
 		observe(ss, m.Horizon, d.Period, limit, func(i int, survived float64) {
 			p := m.Survival(id, ss[i].Time)
 			brier.Add((p - survived) * (p - survived))
@@ -241,7 +241,7 @@ func (m *Model) Evaluate(d *trace.Dataset) Evaluation {
 			rate.Add(survived)
 			ev.Observations++
 		})
-	}
+	})
 	ev.Brier = brier.Mean()
 	ev.BaseBrier = baseBrier.Mean()
 	ev.BaseRate = rate.Mean()

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIndexSpansAndOrder(t *testing.T) {
+	d := newDataset()
+	ix := d.Freeze()
+
+	if got := ix.Machines(); len(got) != 2 || got[0] != "M1" || got[1] != "M2" {
+		t.Fatalf("Machines() = %v", got)
+	}
+	if n := len(ix.Samples("M1")); n != 4 {
+		t.Errorf("M1 samples = %d, want 4", n)
+	}
+	if n := len(ix.Samples("M2")); n != 2 {
+		t.Errorf("M2 samples = %d, want 2", n)
+	}
+	if ix.Samples("nope") != nil {
+		t.Error("unknown machine should yield nil")
+	}
+	// Spans alias the dataset's sorted backing array.
+	ss := ix.Samples("M1")
+	if &ss[0] != &d.Samples[0] {
+		t.Error("span does not alias the dataset samples")
+	}
+	// Cached aggregates match the Dataset methods.
+	if ix.Attempts() != d.Attempts() {
+		t.Errorf("Attempts: idx %d vs dataset %d", ix.Attempts(), d.Attempts())
+	}
+	if ix.Days() != d.Days() {
+		t.Errorf("Days: idx %v vs dataset %v", ix.Days(), d.Days())
+	}
+	if m := ix.Machine("M2"); m == nil || m.ID != "M2" {
+		t.Errorf("Machine(M2) = %+v", m)
+	}
+	// EachMachine visits in sorted order.
+	var order []string
+	ix.EachMachine(func(id string, ss []Sample) { order = append(order, id) })
+	if len(order) != 2 || order[0] != "M1" || order[1] != "M2" {
+		t.Errorf("EachMachine order = %v", order)
+	}
+}
+
+func TestIndexIntervalsCachedAndShared(t *testing.T) {
+	d := newDataset()
+	ix := d.Index()
+	a := ix.Intervals(0)
+	b := ix.Intervals(0)
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("Intervals not cached (distinct slices returned)")
+	}
+	// Distinct maxGap keys are cached independently.
+	g := ix.Intervals(30 * time.Minute)
+	if len(g) >= len(a) {
+		t.Fatalf("maxGap filter dropped nothing: %d vs %d", len(g), len(a))
+	}
+	if &g[0] != &ix.Intervals(30*time.Minute)[0] {
+		t.Error("second maxGap key not cached")
+	}
+	// The shim returns the same cache.
+	if s := d.Intervals(0); &s[0] != &a[0] {
+		t.Error("Dataset.Intervals shim does not reuse the index cache")
+	}
+}
+
+// TestIndexSecondPassAllocFree is the allocation regression the index
+// exists for: once frozen, re-deriving intervals and spans must not
+// re-sort or re-pair (zero allocations on the hot read path).
+func TestIndexSecondPassAllocFree(t *testing.T) {
+	d := newDataset()
+	d.Freeze()
+	maxGap := 2 * d.Period
+	d.Index().Intervals(maxGap) // warm the pair cache
+	allocs := testing.AllocsPerRun(100, func() {
+		ix := d.Index()
+		ivs := ix.Intervals(maxGap)
+		ss := ix.Samples("M1")
+		if len(ivs) == 0 || len(ss) == 0 {
+			t.Fatal("empty derived views")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("second pass allocates: %v allocs/op (index re-sorting or re-pairing?)", allocs)
+	}
+}
+
+func TestIndexDetectsStructuralMutation(t *testing.T) {
+	d := newDataset()
+	ix := d.Index()
+	if len(ix.Samples("M3")) != 0 {
+		t.Fatal("M3 unexpectedly present")
+	}
+	// Append a sample for a new machine: stale index must be detected and
+	// rebuilt on the next access.
+	d.Samples = append(d.Samples, mkSample("M3", t0.Add(15*time.Minute), t0, time.Minute, ""))
+	ix2 := d.Index()
+	if ix2 == ix {
+		t.Fatal("mutated dataset returned the stale index")
+	}
+	if len(ix2.Samples("M3")) != 1 {
+		t.Errorf("rebuilt index missing appended sample")
+	}
+	if got := ix2.Machines(); len(got) != 3 {
+		t.Errorf("rebuilt machines = %v", got)
+	}
+}
+
+func TestInvalidateIndex(t *testing.T) {
+	d := newDataset()
+	ix := d.Index()
+	// In-place mutation is invisible to the fingerprint...
+	d.Samples[0].MemLoadPct = 99
+	if d.Index() != ix {
+		t.Fatal("in-place mutation unexpectedly invalidated the index")
+	}
+	// ...until the caller invalidates explicitly.
+	d.InvalidateIndex()
+	if d.Index() == ix {
+		t.Fatal("InvalidateIndex did not drop the cached index")
+	}
+}
+
+func TestIndexConcurrentReaders(t *testing.T) {
+	d := newDataset()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				ix := d.Index()
+				_ = ix.Intervals(2 * d.Period)
+				_ = ix.Intervals(0)
+				ix.EachMachine(func(id string, ss []Sample) {})
+				_ = ix.Attempts()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -6,6 +6,8 @@ package trace
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"winlab/internal/machine"
@@ -110,12 +112,20 @@ type MachineInfo struct {
 func (m MachineInfo) PerfIndex() float64 { return 0.5*m.IntIndex + 0.5*m.FPIndex }
 
 // Dataset is a complete monitoring trace.
+//
+// A Dataset must not be copied by value after first use: the cached index
+// (see Freeze/Index) is keyed to the instance.
 type Dataset struct {
 	Start, End time.Time
 	Period     time.Duration
 	Machines   []MachineInfo
 	Iterations []Iteration
 	Samples    []Sample
+
+	// idx caches the frozen Index; idxMu serialises (re)builds. See
+	// index.go.
+	idxMu sync.Mutex
+	idx   atomic.Pointer[Index]
 }
 
 // MachineByID returns the metadata for one machine, or nil.
@@ -144,8 +154,15 @@ func (d *Dataset) Days() float64 {
 
 // SortSamples orders samples by machine then time, the order the pairing
 // and session-detection passes require. Collectors append in iteration
-// order, so this is typically a near-sorted input.
+// order, so this is typically a near-sorted input. Freeze calls it once;
+// on an already-frozen dataset it is a (stable) no-op.
 func (d *Dataset) SortSamples() {
+	d.idxMu.Lock()
+	defer d.idxMu.Unlock()
+	d.sortSamplesLocked()
+}
+
+func (d *Dataset) sortSamplesLocked() {
 	sort.SliceStable(d.Samples, func(i, j int) bool {
 		a, b := &d.Samples[i], &d.Samples[j]
 		if a.Machine != b.Machine {
@@ -155,14 +172,21 @@ func (d *Dataset) SortSamples() {
 	})
 }
 
-// ByMachine groups the (sorted) samples per machine, preserving time order.
-// It sorts the dataset if needed.
+// ByMachine groups the samples per machine, preserving time order. It is
+// a compatibility shim over the frozen Index (freezing the dataset on
+// first use): the per-machine pointer slices are rebuilt on every call,
+// so hot paths should use Index().Samples / EachMachine instead, which
+// return shared subslices without allocating.
 func (d *Dataset) ByMachine() map[string][]*Sample {
-	d.SortSamples()
-	out := make(map[string][]*Sample, len(d.Machines))
-	for i := range d.Samples {
-		s := &d.Samples[i]
-		out[s.Machine] = append(out[s.Machine], s)
+	ix := d.Index()
+	out := make(map[string][]*Sample, len(ix.ids))
+	for n, id := range ix.ids {
+		sp := ix.spans[n]
+		ptrs := make([]*Sample, sp.hi-sp.lo)
+		for j := range ptrs {
+			ptrs[j] = &d.Samples[sp.lo+j]
+		}
+		out[id] = ptrs
 	}
 	return out
 }
@@ -227,19 +251,14 @@ func SameBoot(a, b *Sample) bool {
 // maxGap drops pairs separated by more than that duration (collector
 // outages would otherwise create misleadingly long intervals); a zero
 // maxGap keeps everything.
+//
+// It is a shim over the frozen Index: the pairs are computed once per
+// distinct maxGap and cached, and the returned slice is that shared cache
+// — treat it as read-only. Pairs are ordered by machine (sorted) then
+// time, so repeated calls are deterministic (the pre-index implementation
+// followed map iteration order, which made the floating-point
+// accumulation order — and the last bits of every derived mean — vary
+// from run to run).
 func (d *Dataset) Intervals(maxGap time.Duration) []Interval {
-	var out []Interval
-	for _, ss := range d.ByMachine() {
-		for i := 1; i < len(ss); i++ {
-			a, b := ss[i-1], ss[i]
-			if !SameBoot(a, b) {
-				continue
-			}
-			if maxGap > 0 && b.Time.Sub(a.Time) > maxGap {
-				continue
-			}
-			out = append(out, Interval{A: a, B: b})
-		}
-	}
-	return out
+	return d.Index().Intervals(maxGap)
 }

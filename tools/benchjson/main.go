@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// a stable JSON summary: benchmark name → ns/op, B/op, allocs/op. It
+// passes the raw benchmark text through to stdout unchanged (so it can
+// sit in a pipe without hiding the run) and writes the JSON to the file
+// named by -o.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./tools/benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's headline numbers.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkTable2-8   44   31208388 ns/op   11069864 B/op   1788 allocs/op   97.9 uptime_%
+//
+// The -N GOMAXPROCS suffix is stripped so results compare across hosts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file (default: stdout only, after the passthrough)")
+	flag.Parse()
+
+	entries := map[string]Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // passthrough
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		// Scan the tail for B/op and allocs/op (custom metrics are ignored).
+		tail := strings.Fields(m[4])
+		for i := 0; i+1 < len(tail); i++ {
+			switch tail[i+1] {
+			case "B/op":
+				e.BytesPerOp, _ = strconv.ParseInt(tail[i], 10, 64)
+			case "allocs/op":
+				e.AllocsPerOp, _ = strconv.ParseInt(tail[i], 10, 64)
+			}
+		}
+		entries[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]Entry, len(entries)) // json sorts keys on marshal of maps
+	for _, n := range names {
+		ordered[n] = entries[n]
+	}
+	js, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks → %s\n", len(entries), *out)
+}
