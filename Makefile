@@ -2,13 +2,16 @@
 
 GO ?= go
 
-.PHONY: build test verify bench telemetry-demo
+.PHONY: build test verify bench fuzz telemetry-demo
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (name → ns/op,
 # B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
 BENCHTIME ?= 1x
-BENCHJSON ?= BENCH_PR3.json
+BENCHJSON ?= BENCH_PR4.json
+
+# Fuzz smoke budget per target; raise locally for deeper runs.
+FUZZTIME ?= 10s
 
 build:
 	$(GO) build ./...
@@ -25,6 +28,13 @@ verify:
 bench:
 	$(GO) test -bench . -benchmem -count 1 -benchtime $(BENCHTIME) -timeout 30m \
 	    | $(GO) run ./tools/benchjson -o $(BENCHJSON)
+
+# fuzz smoke-runs the codec fuzzers (probe report parser, TBv1 trace
+# reader) for $(FUZZTIME) each. The committed corpora under testdata/fuzz
+# replay on every plain `go test` run; this target explores new inputs.
+fuzz:
+	$(GO) test ./internal/probe/ -run '^$$' -fuzz '^FuzzParseBytes$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 
 # telemetry-demo runs the live collector with the metrics endpoint and
 # span trace enabled, scrapes it mid-run, and fails if /metrics or

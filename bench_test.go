@@ -23,6 +23,7 @@
 package bench
 
 import (
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -301,13 +302,36 @@ func BenchmarkSimulationWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkProbeRender measures the probe's report generation.
+// BenchmarkProbeRender measures the probe's report generation on the
+// collection hot path: probe.AppendRender into a reused buffer, exactly
+// how the pooled collectors render (0 allocs/op).
 func BenchmarkProbeRender(b *testing.B) {
 	fleet := lab.BuildPaperFleet(1)
 	m := fleet.Machines[0]
 	at := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
 	m.PowerOn(at)
 	sn, _ := m.Snapshot(at.Add(time.Hour))
+	buf := probe.AppendRender(nil, sn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = probe.AppendRender(buf[:0], sn)
+		if len(buf) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkProbeRenderAlloc is the convenience probe.Render wrapper
+// (fresh buffer per call) — the pre-pooling behaviour, kept for
+// comparison against BenchmarkProbeRender.
+func BenchmarkProbeRenderAlloc(b *testing.B) {
+	fleet := lab.BuildPaperFleet(1)
+	m := fleet.Machines[0]
+	at := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	m.PowerOn(at)
+	sn, _ := m.Snapshot(at.Add(time.Hour))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out := probe.Render(sn); len(out) == 0 {
@@ -316,7 +340,9 @@ func BenchmarkProbeRender(b *testing.B) {
 	}
 }
 
-// BenchmarkProbeParse measures the coordinator-side parse path.
+// BenchmarkProbeParse measures the coordinator-side parse path with a
+// reused Parser — the in-place byte codec with string interning that the
+// sink runs per report (0 allocs/op in steady state).
 func BenchmarkProbeParse(b *testing.B) {
 	fleet := lab.BuildPaperFleet(1)
 	m := fleet.Machines[0]
@@ -324,9 +350,11 @@ func BenchmarkProbeParse(b *testing.B) {
 	m.PowerOn(at)
 	sn, _ := m.Snapshot(at.Add(time.Hour))
 	out := probe.Render(sn)
+	p := probe.NewParser()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := probe.Parse(out); err != nil {
+		if _, err := p.ParseBytes(out); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -344,12 +372,17 @@ func BenchmarkCollection(b *testing.B) {
 		Source: lab.Source{Fleet: fleet},
 		Now:    func() time.Time { return now },
 	}
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink := ddc.NewDatasetSink(at, at.AddDate(0, 0, 1), 15*time.Minute, nil)
 		for _, m := range fleet.Machines {
-			out, err := exec.Exec(m.ID)
+			out, err := exec.ExecAppend(buf[:0], m.ID)
 			sink.Post(0, m.ID, out, err)
+			if out != nil {
+				buf = out[:0]
+			}
 		}
 		ds, err := sink.Dataset()
 		if err != nil {
@@ -383,6 +416,46 @@ func BenchmarkTraceRead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := trace.ReadFile(dir + "/t.csv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceWriteTB measures TBv1 binary serialisation throughput
+// and reports the on-disk size relative to the CSV encoding of the same
+// dataset (the ISSUE target is ≤40%).
+func BenchmarkTraceWriteTB(b *testing.B) {
+	res := dataset(b)
+	dir := b.TempDir()
+	if err := trace.WriteFile(dir+"/t.csv", res.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteFile(dir+"/t.tb", res.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	csvInfo, err1 := os.Stat(dir + "/t.csv")
+	tbInfo, err2 := os.Stat(dir + "/t.tb")
+	if err1 != nil || err2 != nil {
+		b.Fatal(err1, err2)
+	}
+	b.ReportMetric(100*float64(tbInfo.Size())/float64(csvInfo.Size()), "size_%_of_csv")
+}
+
+// BenchmarkTraceReadTB measures TBv1 binary parsing throughput (via the
+// sniffing ReadFile, as consumers load it).
+func BenchmarkTraceReadTB(b *testing.B) {
+	res := dataset(b)
+	dir := b.TempDir()
+	if err := trace.WriteFile(dir+"/t.tb", res.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadFile(dir + "/t.tb"); err != nil {
 			b.Fatal(err)
 		}
 	}

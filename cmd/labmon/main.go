@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-trace out.csv[.gz]] [-csvdir dir] [-quiet]
+//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
 //	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
 package main
 
@@ -93,6 +93,7 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "export figure CSVs into this directory")
 		quiet    = flag.Bool("quiet", false, "suppress the text report")
 		reps     = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
+		traceFmt = flag.String("trace-format", "auto", "trace file format: auto (by extension), csv, or tbv1 (binary)")
 		workers  = flag.Int("workers", 0, "probe render/parse workers per collector iteration (<=1: sequential; the collected trace is identical either way)")
 		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
 		spansOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
@@ -165,7 +166,12 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := trace.WriteFile(*traceOut, res.Dataset); err != nil {
+		format, err := trace.ParseFormat(*traceFmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteFileFormat(*traceOut, res.Dataset, format); err != nil {
 			fmt.Fprintln(os.Stderr, "labmon: writing trace:", err)
 			os.Exit(1)
 		}

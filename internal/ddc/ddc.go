@@ -41,12 +41,40 @@ type ContextExecutor interface {
 	ExecContext(ctx context.Context, machineID string) (stdout []byte, err error)
 }
 
+// AppendExecutor is an Executor that can render the probe report into a
+// caller-supplied buffer: ExecAppend appends the report to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// Collectors that drive this path reuse one buffer per worker, which is
+// what makes the steady-state collection loop allocation-free — but it
+// changes the lifetime contract: the returned bytes alias dst, so the
+// caller must fully consume them (parse, copy, hash) before reusing the
+// buffer. The PostCollect/PrepareCollect hooks inherit the same rule:
+// stdout passed to them is only valid for the duration of the call when
+// the collector pools buffers.
+type AppendExecutor interface {
+	Executor
+	ExecAppend(dst []byte, machineID string) (stdout []byte, err error)
+}
+
 // ProbeJob is the deferred half of a probe execution: everything
 // time-sensitive (snapshotting the target's state at the scheduled
 // instant) has already happened, and calling the job performs the
 // remaining pure work — rendering the report bytes. Jobs are independent
 // and safe to run concurrently with one another.
 type ProbeJob func() []byte
+
+// AppendProbeJob is ProbeJob's buffer-reusing variant: it appends the
+// report to dst and returns the extended slice. The same aliasing rule
+// as ExecAppend applies.
+type AppendProbeJob func(dst []byte) []byte
+
+// AppendDeferredExecutor pairs DeferredExecutor with the append codec:
+// BeginAppend snapshots now and returns a render job that writes into a
+// caller-supplied buffer later.
+type AppendDeferredExecutor interface {
+	DeferredExecutor
+	BeginAppend(machineID string) (AppendProbeJob, error)
+}
 
 // DeferredExecutor is implemented by executors whose probe splits into a
 // cheap, order-sensitive scheduling step and a pure rendering step. Begin
@@ -84,6 +112,11 @@ func execProbe(ctx context.Context, e Executor, machineID string) ([]byte, error
 // PostCollect is the coordinator-side hook run after every probe attempt,
 // successful or not — the paper's "post-collecting code". stdout is nil
 // when err is non-nil.
+//
+// Lifetime: stdout is only guaranteed valid for the duration of the call.
+// Collectors driving an AppendExecutor reuse the underlying buffer for
+// the next probe, so hooks must parse or copy, never retain the slice
+// (DatasetSink parses immediately and retains nothing).
 type PostCollect func(iter int, machineID string, stdout []byte, err error)
 
 // IterationInfo describes one finished collector iteration, including the

@@ -38,6 +38,16 @@ func (d *Direct) Exec(machineID string) ([]byte, error) {
 	return probe.Render(sn), nil
 }
 
+// ExecAppend implements AppendExecutor: the report is rendered into dst,
+// so a collector reusing one buffer probes without allocating.
+func (d *Direct) ExecAppend(dst []byte, machineID string) ([]byte, error) {
+	sn, ok := d.Source.Snapshot(machineID, d.Now())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return probe.AppendRender(dst, sn), nil
+}
+
 // Begin implements DeferredExecutor: the snapshot — the only part of the
 // probe that depends on *when* it runs — is taken now, and the returned
 // job renders the report from that captured state whenever (and on
@@ -48,6 +58,17 @@ func (d *Direct) Begin(machineID string) (ProbeJob, error) {
 		return nil, ErrUnreachable
 	}
 	return func() []byte { return probe.Render(sn) }, nil
+}
+
+// BeginAppend implements AppendDeferredExecutor: like Begin, but the
+// returned job renders into a caller-supplied buffer, so the deferred
+// path's workers can reuse per-worker scratch.
+func (d *Direct) BeginAppend(machineID string) (AppendProbeJob, error) {
+	sn, ok := d.Source.Snapshot(machineID, d.Now())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return func(dst []byte) []byte { return probe.AppendRender(dst, sn) }, nil
 }
 
 // ExecContext implements ContextExecutor. The probe itself is in-process
@@ -100,6 +121,13 @@ type SimCollector struct {
 
 	stats Stats
 	tel   collectorTelemetry
+
+	// scratch is the sequential path's reusable render buffer, threaded
+	// through ExecAppend when the executor supports it. The iteration
+	// event chain runs serially on the engine, so one buffer suffices;
+	// the report slice handed to Post aliases it and dies with the call
+	// (see the PostCollect lifetime contract).
+	scratch []byte
 }
 
 // Stats returns the collector's accumulated run statistics.
@@ -142,6 +170,7 @@ func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) 
 			return
 		}
 	}
+	ae, hasAppend := c.Exec.(AppendExecutor)
 	responded := 0
 	probes := 0
 	var step func(e *sim.Engine, idx int)
@@ -159,7 +188,18 @@ func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) 
 			return
 		}
 		id := c.Cfg.Machines[idx]
-		out, err := c.Exec.Exec(id)
+		var out []byte
+		var err error
+		if hasAppend {
+			// Render into the collector's reusable scratch buffer: the
+			// steady-state probe → post-collect cycle allocates nothing.
+			out, err = ae.ExecAppend(c.scratch[:0], id)
+			if out != nil {
+				c.scratch = out[:0] // keep grown capacity for the next probe
+			}
+		} else {
+			out, err = c.Exec.Exec(id)
+		}
 		probes++
 		if err == nil {
 			responded++
@@ -206,8 +246,9 @@ func (c *SimCollector) accountProbe(id string, iter int, err error) time.Duratio
 // them across the pool and commits results serially in machine order.
 func (c *SimCollector) runIterationDeferred(eng *sim.Engine, de DeferredExecutor, iter int, start time.Time) {
 	n := len(c.Cfg.Machines)
-	jobs := make([]ProbeJob, n)
+	jobs := make([]AppendProbeJob, n)
 	errs := make([]error, n)
+	ade, hasAppend := de.(AppendDeferredExecutor)
 	responded := 0
 	var step func(e *sim.Engine, idx int)
 	step = func(e *sim.Engine, idx int) {
@@ -216,7 +257,18 @@ func (c *SimCollector) runIterationDeferred(eng *sim.Engine, de DeferredExecutor
 			return
 		}
 		id := c.Cfg.Machines[idx]
-		job, err := de.Begin(id)
+		var job AppendProbeJob
+		var err error
+		if hasAppend {
+			job, err = ade.BeginAppend(id)
+		} else {
+			// Legacy deferred executor: adapt the job; the closure costs
+			// one allocation per probe, same as Begin itself.
+			var pj ProbeJob
+			if pj, err = de.Begin(id); pj != nil {
+				job = func([]byte) []byte { return pj() }
+			}
+		}
 		jobs[idx], errs[idx] = job, err
 		if err == nil {
 			responded++
@@ -231,12 +283,22 @@ func (c *SimCollector) runIterationDeferred(eng *sim.Engine, de DeferredExecutor
 // worker pool — and, when a Prepare hook is wired, parses them there too —
 // then commits post-collection serially in machine order. Runs at the
 // same simulated instant the sequential path fires its OnIteration.
-func (c *SimCollector) finishDeferred(e *sim.Engine, iter int, start time.Time, responded int, jobs []ProbeJob, errs []error) {
+//
+// Buffer strategy: with a Prepare hook, each worker renders every job
+// into one per-worker pooled buffer and parses it immediately, so the
+// buffer is reused job after job. Without Prepare the report must
+// survive until the serial Post pass, so each job rents its own pooled
+// buffer, returned after its Post call.
+func (c *SimCollector) finishDeferred(e *sim.Engine, iter int, start time.Time, responded int, jobs []AppendProbeJob, errs []error) {
 	n := len(jobs)
-	outs := make([][]byte, n)
+	var outs [][]byte
+	var bufs []*reportBuf
 	var commits []func()
 	if c.Prepare != nil {
 		commits = make([]func(), n)
+	} else {
+		outs = make([][]byte, n)
+		bufs = make([]*reportBuf, n)
 	}
 	workers := c.Workers
 	if workers > n {
@@ -248,12 +310,26 @@ func (c *SimCollector) finishDeferred(e *sim.Engine, iter int, start time.Time, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			if commits != nil {
+				// Parse-on-worker: one scratch buffer per worker.
+				rb := getReportBuf()
+				defer putReportBuf(rb)
+				for i := range idxCh {
+					var out []byte
+					if jobs[i] != nil {
+						out = jobs[i](rb.b[:0])
+						rb.b = out[:0]
+					}
+					commits[i] = c.Prepare(iter, c.Cfg.Machines[i], out, errs[i])
+				}
+				return
+			}
 			for i := range idxCh {
 				if jobs[i] != nil {
-					outs[i] = jobs[i]()
-				}
-				if commits != nil {
-					commits[i] = c.Prepare(iter, c.Cfg.Machines[i], outs[i], errs[i])
+					rb := getReportBuf()
+					outs[i] = jobs[i](rb.b[:0])
+					rb.b = outs[i][:0]
+					bufs[i] = rb
 				}
 			}
 		}()
@@ -271,6 +347,10 @@ func (c *SimCollector) finishDeferred(e *sim.Engine, iter int, start time.Time, 
 			}
 		case c.Post != nil:
 			c.Post(iter, c.Cfg.Machines[i], outs[i], errs[i])
+		}
+		if bufs != nil && bufs[i] != nil {
+			putReportBuf(bufs[i]) // report consumed; recycle its buffer
+			bufs[i], outs[i] = nil, nil
 		}
 	}
 	end := e.Now()

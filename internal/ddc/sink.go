@@ -56,12 +56,14 @@ func (s *DatasetSink) WithTelemetry(reg *telemetry.Registry) *DatasetSink {
 
 // Post is the PostCollect hook: parse and commit in one call. It stays
 // closure-free — the sequential collector calls it once per probe on the
-// hot path.
+// hot path — and honours the PostCollect lifetime contract: ParseBytes
+// interns what it keeps, so nothing retains stdout after the call (the
+// collector may reuse the underlying buffer immediately).
 func (s *DatasetSink) Post(iter int, machineID string, stdout []byte, err error) {
 	if err != nil {
 		return // unreachable machine: no sample
 	}
-	sn, perr := probe.Parse(stdout)
+	sn, perr := probe.ParseBytes(stdout)
 	s.commit(iter, machineID, sn, perr)
 }
 
@@ -76,7 +78,7 @@ func (s *DatasetSink) Prepare(iter int, machineID string, stdout []byte, err err
 	if err != nil {
 		return nil // unreachable machine: no sample
 	}
-	sn, perr := probe.Parse(stdout)
+	sn, perr := probe.ParseBytes(stdout)
 	return func() { s.commit(iter, machineID, sn, perr) }
 }
 

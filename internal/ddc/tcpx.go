@@ -1,7 +1,6 @@
 package ddc
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"io"
@@ -146,6 +145,14 @@ func (a *Agent) timeout() time.Duration {
 	return 10 * time.Second
 }
 
+// Static response lines: the error paths write fixed bytes instead of
+// formatting per connection.
+var (
+	respOK          = []byte("OK\n")
+	respBadRequest  = []byte("ERR bad request\n")
+	respUnreachable = []byte("ERR unreachable\n")
+)
+
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
 	tel := a.telemetryHandles()
@@ -153,7 +160,9 @@ func (a *Agent) handle(conn net.Conn) {
 	tel.inflight.Add(1)
 	defer tel.inflight.Add(-1)
 	_ = conn.SetDeadline(time.Now().Add(a.timeout()))
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	br := getConnReader(conn)
+	line, err := br.ReadString('\n')
+	putConnReader(br) // single-line request: nothing buffered matters after this
 	if err != nil {
 		tel.connErrors.Inc()
 		return
@@ -161,7 +170,7 @@ func (a *Agent) handle(conn net.Conn) {
 	id, ok := strings.CutPrefix(strings.TrimSpace(line), "PROBE ")
 	if !ok {
 		tel.connErrors.Inc()
-		n, _ := fmt.Fprintf(conn, "ERR bad request\n")
+		n, _ := conn.Write(respBadRequest)
 		tel.bytesWritten.Add(int64(n))
 		return
 	}
@@ -171,20 +180,24 @@ func (a *Agent) handle(conn net.Conn) {
 	}
 	sn, up := a.Source.Snapshot(id, now)
 	if !up {
-		n, _ := fmt.Fprintf(conn, "ERR unreachable\n")
+		n, _ := conn.Write(respUnreachable)
 		tel.bytesWritten.Add(int64(n))
 		return
 	}
 	// Explicit status framing: the report body follows verbatim, whatever
-	// bytes it starts with.
-	n, err := io.WriteString(conn, "OK\n")
+	// bytes it starts with. The report renders into a pooled buffer — the
+	// serving path allocates nothing per probe beyond the goroutine.
+	n, err := conn.Write(respOK)
 	tel.bytesWritten.Add(int64(n))
 	if err != nil {
 		tel.connErrors.Inc()
 		return
 	}
-	n, _ = conn.Write(probe.Render(sn))
+	rb := getReportBuf()
+	rb.b = probe.AppendRender(rb.b[:0], sn)
+	n, _ = conn.Write(rb.b)
 	tel.bytesWritten.Add(int64(n))
+	putReportBuf(rb)
 }
 
 // TCPExecutor probes agents over TCP. A machine with no registered address
@@ -258,7 +271,11 @@ func (t *TCPExecutor) ExecContext(ctx context.Context, machineID string) ([]byte
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline)
-	n, err := fmt.Fprintf(conn, "PROBE %s\n", machineID)
+	// Build the request line in a pooled buffer (fmt.Fprintf allocates).
+	req := getReportBuf()
+	req.b = append(append(append(req.b[:0], "PROBE "...), machineID...), '\n')
+	n, err := conn.Write(req.b)
+	putReportBuf(req)
 	tel.bytesWritten.Add(int64(n))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, machineID, err)
@@ -294,9 +311,11 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // readFramedReport reads an agent response. Framed responses carry an
 // explicit status line ("OK" or "ERR <msg>"); anything else is treated as
 // a legacy unframed report whose first line is part of the body (compat
-// path for pre-framing agents).
+// path for pre-framing agents). The bufio wrapper is pooled; the returned
+// report is freshly allocated and owned by the caller.
 func readFramedReport(r io.Reader) ([]byte, error) {
-	br := bufio.NewReader(r)
+	br := getConnReader(r)
+	defer putConnReader(br)
 	line, err := br.ReadString('\n')
 	if err != nil && (err != io.EOF || line == "") {
 		return nil, err

@@ -403,6 +403,28 @@ func TestNilTelemetryAllocFree(t *testing.T) {
 		t.Errorf("nil span helper allocates %.1f objects/run, want 0", allocs)
 	}
 
+	// The PR 4 codec path: ExecAppend renders the probe report into a
+	// caller-owned buffer and the reusable Parser decodes it in place —
+	// with a warm buffer and parser the whole probe→parse cycle (the
+	// steady-state unit of collection) allocates nothing.
+	m := newMachine("M1")
+	m.PowerOn(t0)
+	direct := &Direct{Source: memSource{m}, Now: func() time.Time { return t0.Add(10 * time.Minute) }}
+	buf := make([]byte, 0, 1024)
+	parser := probe.NewParser()
+	if allocs := testing.AllocsPerRun(200, func() {
+		out, err := direct.ExecAppend(buf[:0], "M1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, perr := parser.ParseBytes(out); perr != nil {
+			t.Fatal(perr)
+		}
+		buf = out[:0]
+	}); allocs != 0 {
+		t.Errorf("ExecAppend+ParseBytes cycle allocates %.1f objects/run, want 0", allocs)
+	}
+
 	// Control: the same paths with a live registry do record (the guard
 	// above is meaningful, not vacuously measuring a stripped call).
 	reg := telemetry.NewRegistry()

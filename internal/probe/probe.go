@@ -7,14 +7,13 @@
 // and the analysis know about a machine passes through this format, which
 // keeps the boundary between fleet and collector honest: the analysis can
 // never peek at simulator internals.
+//
+// Render and Parse are convenience wrappers; the hot collection paths use
+// the allocation-free AppendRender / Parser.ParseBytes codec in codec.go.
 package probe
 
 import (
-	"bufio"
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"winlab/internal/machine"
@@ -26,39 +25,10 @@ const Version = "W32PROBE/1.0"
 // timeLayout is the timestamp format used in reports.
 const timeLayout = time.RFC3339
 
-// Render writes the probe report for a snapshot.
+// Render writes the probe report for a snapshot into a fresh buffer. Hot
+// paths should call AppendRender with a reused buffer instead.
 func Render(s machine.Snapshot) []byte {
-	var b strings.Builder
-	b.Grow(640)
-	fmt.Fprintf(&b, "%s\n", Version)
-	fmt.Fprintf(&b, "machine: %s\n", s.ID)
-	fmt.Fprintf(&b, "lab: %s\n", s.Lab)
-	fmt.Fprintf(&b, "time: %s\n", s.Time.UTC().Format(timeLayout))
-	fmt.Fprintf(&b, "os: %s\n", s.OS)
-	fmt.Fprintf(&b, "cpu.model: %s\n", s.CPUModel)
-	fmt.Fprintf(&b, "cpu.mhz: %d\n", int(s.CPUGHz*1000+0.5))
-	fmt.Fprintf(&b, "mem.total.mb: %d\n", s.RAMMB)
-	fmt.Fprintf(&b, "swap.total.mb: %d\n", s.SwapMB)
-	for i, mac := range s.MACs {
-		fmt.Fprintf(&b, "net.%d.mac: %s\n", i, mac)
-	}
-	fmt.Fprintf(&b, "disk.0.serial: %s\n", s.Serial)
-	fmt.Fprintf(&b, "disk.0.size.gb: %.2f\n", s.DiskGB)
-	fmt.Fprintf(&b, "disk.0.smart.cycles: %d\n", s.PowerCycles)
-	fmt.Fprintf(&b, "disk.0.smart.poweron.hours: %d\n", s.PowerOnHours)
-	fmt.Fprintf(&b, "boot.time: %s\n", s.BootTime.UTC().Format(timeLayout))
-	fmt.Fprintf(&b, "uptime.sec: %.1f\n", s.Uptime.Seconds())
-	fmt.Fprintf(&b, "cpu.idle.sec: %.1f\n", s.CPUIdle.Seconds())
-	fmt.Fprintf(&b, "mem.load.pct: %d\n", s.MemLoadPct)
-	fmt.Fprintf(&b, "swap.load.pct: %d\n", s.SwapLoadPct)
-	fmt.Fprintf(&b, "disk.free.gb: %.3f\n", s.FreeDiskGB)
-	fmt.Fprintf(&b, "net.sent.bytes: %d\n", s.SentBytes)
-	fmt.Fprintf(&b, "net.recv.bytes: %d\n", s.RecvBytes)
-	if s.HasSession() {
-		fmt.Fprintf(&b, "session.user: %s\n", s.SessionUser)
-		fmt.Fprintf(&b, "session.start: %s\n", s.SessionStart.UTC().Format(timeLayout))
-	}
-	return []byte(b.String())
+	return AppendRender(make([]byte, 0, 640), s)
 }
 
 // ParseError describes a malformed probe report.
@@ -73,135 +43,8 @@ func (e *ParseError) Error() string {
 
 // Parse decodes a probe report back into a snapshot. Unknown keys are
 // ignored so the format can grow; missing mandatory keys are an error.
+// It delegates to the in-place byte parser through a pooled Parser — the
+// input is sliced, not copied, and is not retained after the call.
 func Parse(data []byte) (machine.Snapshot, error) {
-	var s machine.Snapshot
-	sc := bufio.NewScanner(strings.NewReader(string(data)))
-	line := 0
-	if !sc.Scan() {
-		return s, &ParseError{Line: 1, Msg: "empty report"}
-	}
-	line++
-	if got := strings.TrimSpace(sc.Text()); got != Version {
-		return s, &ParseError{Line: 1, Msg: fmt.Sprintf("bad magic %q", got)}
-	}
-	macs := map[int]string{}
-	seen := map[string]bool{}
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(text, ":")
-		if !ok {
-			return s, &ParseError{Line: line, Msg: "missing ':'"}
-		}
-		key = strings.TrimSpace(key)
-		val = strings.TrimSpace(val)
-		seen[key] = true
-		var err error
-		switch key {
-		case "machine":
-			s.ID = val
-		case "lab":
-			s.Lab = val
-		case "time":
-			s.Time, err = time.Parse(timeLayout, val)
-		case "os":
-			s.OS = val
-		case "cpu.model":
-			s.CPUModel = val
-		case "cpu.mhz":
-			var mhz int
-			mhz, err = strconv.Atoi(val)
-			s.CPUGHz = float64(mhz) / 1000
-		case "mem.total.mb":
-			s.RAMMB, err = strconv.Atoi(val)
-		case "swap.total.mb":
-			s.SwapMB, err = strconv.Atoi(val)
-		case "disk.0.serial":
-			s.Serial = val
-		case "disk.0.size.gb":
-			s.DiskGB, err = strconv.ParseFloat(val, 64)
-		case "disk.0.smart.cycles":
-			s.PowerCycles, err = strconv.ParseInt(val, 10, 64)
-		case "disk.0.smart.poweron.hours":
-			s.PowerOnHours, err = strconv.ParseInt(val, 10, 64)
-		case "boot.time":
-			s.BootTime, err = time.Parse(timeLayout, val)
-		case "uptime.sec":
-			s.Uptime, err = parseSeconds(val)
-		case "cpu.idle.sec":
-			s.CPUIdle, err = parseSeconds(val)
-		case "mem.load.pct":
-			s.MemLoadPct, err = strconv.Atoi(val)
-		case "swap.load.pct":
-			s.SwapLoadPct, err = strconv.Atoi(val)
-		case "disk.free.gb":
-			s.FreeDiskGB, err = strconv.ParseFloat(val, 64)
-		case "net.sent.bytes":
-			var v uint64
-			v, err = strconv.ParseUint(val, 10, 64)
-			s.SentBytes = v
-		case "net.recv.bytes":
-			var v uint64
-			v, err = strconv.ParseUint(val, 10, 64)
-			s.RecvBytes = v
-		case "session.user":
-			s.SessionUser = val
-		case "session.start":
-			s.SessionStart, err = time.Parse(timeLayout, val)
-		default:
-			if n, macOK := macIndex(key); macOK {
-				macs[n] = val
-			}
-			// Unknown keys are tolerated for forward compatibility.
-		}
-		if err != nil {
-			return s, &ParseError{Line: line, Msg: fmt.Sprintf("key %q: %v", key, err)}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return s, &ParseError{Line: line, Msg: err.Error()}
-	}
-	for _, k := range []string{"machine", "time", "boot.time", "uptime.sec", "cpu.idle.sec"} {
-		if !seen[k] {
-			return s, &ParseError{Line: line, Msg: fmt.Sprintf("missing mandatory key %q", k)}
-		}
-	}
-	if len(macs) > 0 {
-		idx := make([]int, 0, len(macs))
-		for n := range macs {
-			idx = append(idx, n)
-		}
-		sort.Ints(idx)
-		for _, n := range idx {
-			s.MACs = append(s.MACs, macs[n])
-		}
-	}
-	return s, nil
-}
-
-func parseSeconds(val string) (time.Duration, error) {
-	f, err := strconv.ParseFloat(val, 64)
-	if err != nil {
-		return 0, err
-	}
-	return time.Duration(f * float64(time.Second)), nil
-}
-
-func macIndex(key string) (int, bool) {
-	rest, ok := strings.CutPrefix(key, "net.")
-	if !ok {
-		return 0, false
-	}
-	numStr, ok := strings.CutSuffix(rest, ".mac")
-	if !ok {
-		return 0, false
-	}
-	n, err := strconv.Atoi(numStr)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
+	return ParseBytes(data)
 }

@@ -1,10 +1,11 @@
 package telemetry
 
 import (
-	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"time"
+	"unicode/utf8"
 )
 
 // DefaultSpanCapacity is the size of the in-memory span ring: large
@@ -57,7 +58,7 @@ type SpanRecorder struct {
 	total   uint64
 	w       io.Writer
 	werr    error
-	enc     *json.Encoder
+	buf     []byte // reused JSONL encode buffer (one span line at a time)
 	dropped uint64 // spans not written to w because of a write error
 }
 
@@ -93,11 +94,6 @@ func (s *SpanRecorder) SetWriter(w io.Writer) {
 	defer s.mu.Unlock()
 	s.w = w
 	s.werr = nil
-	if w != nil {
-		s.enc = json.NewEncoder(w)
-	} else {
-		s.enc = nil
-	}
 }
 
 // Record stores one span.
@@ -117,16 +113,79 @@ func (s *SpanRecorder) Record(sp Span) {
 		s.next = 0
 		s.filled = true
 	}
-	if s.enc != nil {
+	if s.w != nil {
 		if s.werr != nil {
 			s.dropped++
 			return
 		}
-		if err := s.enc.Encode(sp); err != nil {
+		// Encode into the recorder's reused buffer — json.Encoder
+		// allocated a fresh intermediate per span; appendSpanJSON emits
+		// byte-identical JSONL into scratch that amortises to zero.
+		s.buf = appendSpanJSON(s.buf[:0], sp)
+		if _, err := s.w.Write(s.buf); err != nil {
 			s.werr = err
 			s.dropped++
 		}
 	}
+}
+
+// appendSpanJSON appends one span encoded exactly as encoding/json would
+// (field order, omitempty err, HTML-safe escaping, RFC3339Nano time),
+// terminated by a newline — the JSONL line json.Encoder used to produce,
+// minus its per-call buffer.
+func appendSpanJSON(dst []byte, sp Span) []byte {
+	dst = append(dst, `{"t":"`...)
+	dst = sp.Time.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","machine":`...)
+	dst = appendJSONString(dst, sp.Machine)
+	dst = append(dst, `,"iter":`...)
+	dst = strconv.AppendInt(dst, int64(sp.Iter), 10)
+	dst = append(dst, `,"attempt":`...)
+	dst = strconv.AppendInt(dst, int64(sp.Attempt), 10)
+	dst = append(dst, `,"latency_ns":`...)
+	dst = strconv.AppendInt(dst, int64(sp.Latency), 10)
+	dst = append(dst, `,"outcome":`...)
+	dst = appendJSONString(dst, string(sp.Outcome))
+	if sp.Err != "" {
+		dst = append(dst, `,"err":`...)
+		dst = appendJSONString(dst, sp.Err)
+	}
+	return append(dst, '}', '\n')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, mirroring encoding/json's
+// default escaping: quotes, backslashes, control characters, the
+// HTML-sensitive <, >, &, the line separators U+2028/U+2029, and �
+// for invalid UTF-8 bytes.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+		switch {
+		case r == utf8.RuneError && size == 1:
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+		case r == '"':
+			dst = append(dst, '\\', '"')
+		case r == '\\':
+			dst = append(dst, '\\', '\\')
+		case r == '\n':
+			dst = append(dst, '\\', 'n')
+		case r == '\r':
+			dst = append(dst, '\\', 'r')
+		case r == '\t':
+			dst = append(dst, '\\', 't')
+		case r < 0x20 || r == '<' || r == '>' || r == '&':
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[byte(r)>>4], hexDigits[byte(r)&0xf])
+		case r == '\u2028' || r == '\u2029':
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+		default:
+			dst = utf8.AppendRune(dst, r)
+		}
+	}
+	return append(dst, '"')
 }
 
 // Snapshot returns the buffered spans, oldest first.

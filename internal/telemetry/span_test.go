@@ -77,6 +77,35 @@ func TestSpanJSONLStreaming(t *testing.T) {
 	}
 }
 
+// TestAppendSpanJSONMatchesEncodingJSON pins the hand-rolled JSONL
+// encoder to encoding/json byte-for-byte: field order, omitempty err,
+// RFC3339Nano times, HTML-safe escaping, and invalid-UTF-8 replacement.
+func TestAppendSpanJSONMatchesEncodingJSON(t *testing.T) {
+	at := time.Date(2026, 8, 6, 12, 34, 56, 789012345, time.UTC)
+	spans := []Span{
+		{Time: at, Machine: "m1", Iter: 3, Attempt: 2,
+			Latency: 150 * time.Millisecond, Outcome: OutcomeRetry, Err: "boom"},
+		{Time: at, Machine: "m2", Iter: 0, Attempt: 1, Outcome: OutcomeOK}, // omitempty err
+		{Time: at.In(time.FixedZone("X", 3600)), Machine: `quo"ted\back`, Outcome: OutcomeError,
+			Err: "line\nbreak\ttab\rret"},
+		{Time: at, Machine: "html<&>unsafe", Outcome: OutcomeTimeout, Err: "a<b && c>d"},
+		{Time: at, Machine: "seps\u2028and\u2029", Outcome: OutcomeOK, Err: "ctl\x01\x1f"},
+		{Time: at, Machine: "bad\xff\xfeutf8", Outcome: OutcomeParseError, Err: "trunc\xc3"},
+		{Time: at, Machine: "real�rune", Outcome: OutcomeBreakerSkip, Err: "�"},
+		{Time: at, Machine: "", Iter: -1, Attempt: 0, Latency: -time.Nanosecond, Outcome: ""},
+	}
+	for i, sp := range spans {
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(sp); err != nil {
+			t.Fatalf("span %d: encoding/json: %v", i, err)
+		}
+		got := appendSpanJSON(nil, sp)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("span %d mismatch:\n got: %q\nwant: %q", i, got, want.Bytes())
+		}
+	}
+}
+
 type failWriter struct{ n int }
 
 func (f *failWriter) Write(p []byte) (int, error) {

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary hammers the TBv1 decoder with arbitrary bytes: malformed
+// input (truncated streams, bad varints, wrong magic, lying counts,
+// out-of-range dictionary references) must return an error, never panic
+// or allocate absurdly; input that decodes must re-encode to a stream
+// that decodes to the same dataset (Write∘Read fixed point).
+func FuzzReadBinary(f *testing.F) {
+	full := newDataset()
+	full.Samples = append(full.Samples, FromSnapshot(9, snapshotFixture()))
+	var seedBuf bytes.Buffer
+	if err := WriteBinary(&seedBuf, full); err != nil {
+		f.Fatal(err)
+	}
+	valid := seedBuf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)/2])             // truncated mid-stream
+	f.Add(valid[:5])                        // header only
+	f.Add([]byte{})                         // empty
+	f.Add([]byte("WLTB"))                   // magic, no version
+	f.Add([]byte("NOPE\x01"))               // wrong magic
+	f.Add([]byte("WLTB\x02"))               // future version
+	f.Add(append([]byte("WLTB\x01"), bytes.Repeat([]byte{0x80}, 32)...)) // overlong varint
+	f.Add(append([]byte("WLTB\x01"), 0, 0, 0, 0, 0, 0, 0,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10)) // huge count
+	f.Add(append(append([]byte(nil), valid...), 0xFF)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A dataset that decoded must survive a re-encode/re-decode
+		// cycle unchanged.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			t.Fatalf("re-encode of decoded dataset failed: %v", err)
+		}
+		d2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(d2.Samples) != len(d.Samples) || len(d2.Machines) != len(d.Machines) ||
+			len(d2.Iterations) != len(d.Iterations) ||
+			!d2.Start.Equal(d.Start) || !d2.End.Equal(d.End) || d2.Period != d.Period {
+			t.Fatalf("Write∘Read not a fixed point:\n%+v\n%+v", d, d2)
+		}
+		for i := range d.Samples {
+			a, b := &d.Samples[i], &d2.Samples[i]
+			if a.Machine != b.Machine || !a.Time.Equal(b.Time) ||
+				a.SentBytes != b.SentBytes || a.SessionUser != b.SessionUser {
+				t.Fatalf("sample %d drifted: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -31,9 +31,15 @@ const formatVersion = "winlab-trace-1"
 
 const timeFormat = time.RFC3339
 
-// Write serialises the dataset.
+// ioBufSize is the buffered-IO window used by every trace codec, reader
+// and writer alike (CSV and TBv1). One shared constant keeps the two
+// sides of each stream sized consistently: the reader used to insist on
+// 1 MB while writers picked whatever bufio defaulted to.
+const ioBufSize = 1 << 20
+
+// Write serialises the dataset in the CSV text format.
 func Write(w io.Writer, d *Dataset) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	bw := bufio.NewWriterSize(w, ioBufSize)
 	cw := csv.NewWriter(bw)
 	if err := cw.Write([]string{"H", formatVersion,
 		d.Start.UTC().Format(timeFormat), d.End.UTC().Format(timeFormat),
@@ -70,10 +76,55 @@ func Write(w io.Writer, d *Dataset) error {
 	return bw.Flush()
 }
 
+// Format selects a trace serialisation: the line-oriented CSV text
+// format (the original), or the compact TBv1 binary format (binary.go).
+type Format int
+
+const (
+	// FormatAuto picks by file extension on write (".tb"/".tbv1" →
+	// TBv1, else CSV) and by content sniffing on read.
+	FormatAuto Format = iota
+	FormatCSV
+	FormatTB
+)
+
+// ParseFormat maps a command-line spelling to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "csv":
+		return FormatCSV, nil
+	case "tb", "tbv1", "binary":
+		return FormatTB, nil
+	}
+	return FormatAuto, fmt.Errorf("trace: unknown format %q (want auto, csv or tbv1)", s)
+}
+
+// formatForPath resolves FormatAuto from a file name: a ".tb" or ".tbv1"
+// extension (before an optional ".gz") selects the binary format.
+func formatForPath(path string) Format {
+	p := strings.TrimSuffix(path, ".gz")
+	if strings.HasSuffix(p, ".tb") || strings.HasSuffix(p, ".tbv1") {
+		return FormatTB
+	}
+	return FormatCSV
+}
+
 // WriteFile serialises the dataset to a file. A path ending in ".gz" is
 // transparently gzip-compressed — a 77-day trace shrinks from ≈90 MB to a
-// few MB.
+// few MB. The format follows the extension: ".tb"/".tbv1" (before the
+// optional ".gz") write TBv1, anything else writes CSV.
 func WriteFile(path string, d *Dataset) error {
+	return WriteFileFormat(path, d, FormatAuto)
+}
+
+// WriteFileFormat is WriteFile with an explicit format override;
+// FormatAuto defers to the extension.
+func WriteFileFormat(path string, d *Dataset, format Format) error {
+	if format == FormatAuto {
+		format = formatForPath(path)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -84,7 +135,12 @@ func WriteFile(path string, d *Dataset) error {
 		gz = gzip.NewWriter(f)
 		w = gz
 	}
-	if err := Write(w, d); err != nil {
+	if format == FormatTB {
+		err = WriteBinary(w, d)
+	} else {
+		err = Write(w, d)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -125,9 +181,10 @@ func sampleRow(s *Sample) []string {
 
 func fmtF(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
 
-// Read deserialises a dataset written by Write.
+// Read deserialises a dataset written by Write (the CSV format). Use
+// ReadAny to accept CSV and TBv1 transparently.
 func Read(r io.Reader) (*Dataset, error) {
-	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr := csv.NewReader(bufio.NewReaderSize(r, ioBufSize))
 	cr.FieldsPerRecord = -1
 	cr.ReuseRecord = true
 	d := &Dataset{}
@@ -229,7 +286,8 @@ func Read(r io.Reader) (*Dataset, error) {
 }
 
 // ReadFile deserialises a dataset from a file, transparently decompressing
-// ".gz" paths.
+// ".gz" paths. The format (CSV or TBv1) is sniffed from the content, so
+// every consumer loads either kind unchanged.
 func ReadFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -245,7 +303,7 @@ func ReadFile(path string) (*Dataset, error) {
 		defer gz.Close()
 		r = gz
 	}
-	return Read(r)
+	return ReadAny(r)
 }
 
 func parseSampleRow(rec []string) (Sample, error) {

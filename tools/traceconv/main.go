@@ -1,0 +1,105 @@
+// Command traceconv converts trace files between the CSV text format and
+// the TBv1 binary format (internal/trace). The input format is sniffed
+// from the file content — CSV, TBv1, gzipped or not, all load the same
+// way — and the output format follows the destination extension
+// (".tb"/".tbv1" → TBv1, else CSV; a trailing ".gz" adds gzip) unless
+// -format forces it.
+//
+// It prints the before/after file sizes so the compression win of the
+// binary format is visible at a glance:
+//
+//	$ traceconv trace.csv trace.tb
+//	traceconv: trace.csv (89.6 MB) -> trace.tb (25.9 MB), 28.9% of input
+//
+// Usage:
+//
+//	traceconv [-format auto|csv|tbv1] [-check] <in> <out>
+//
+// With -check the tool re-reads the file it just wrote and verifies the
+// dataset survived the conversion unchanged (machine, iteration and
+// sample counts, experiment bounds), turning a conversion into a
+// self-validating migration step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"winlab/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}
+
+// human renders a byte count with a binary-ish human suffix.
+func human(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func main() {
+	formatFlag := flag.String("format", "auto", "output format: auto (by extension), csv, or tbv1")
+	check := flag.Bool("check", false, "re-read the output and verify the dataset round-tripped")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceconv [-format auto|csv|tbv1] [-check] <in> <out>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, out := flag.Arg(0), flag.Arg(1)
+
+	format, err := trace.ParseFormat(*formatFlag)
+	if err != nil {
+		fail(err)
+	}
+	d, err := trace.ReadFile(in)
+	if err != nil {
+		fail(fmt.Errorf("reading %s: %w", in, err))
+	}
+	if err := trace.WriteFileFormat(out, d, format); err != nil {
+		fail(fmt.Errorf("writing %s: %w", out, err))
+	}
+
+	if *check {
+		rd, err := trace.ReadFile(out)
+		if err != nil {
+			fail(fmt.Errorf("check: re-reading %s: %w", out, err))
+		}
+		switch {
+		case len(rd.Machines) != len(d.Machines):
+			fail(fmt.Errorf("check: machines %d != %d", len(rd.Machines), len(d.Machines)))
+		case len(rd.Iterations) != len(d.Iterations):
+			fail(fmt.Errorf("check: iterations %d != %d", len(rd.Iterations), len(d.Iterations)))
+		case len(rd.Samples) != len(d.Samples):
+			fail(fmt.Errorf("check: samples %d != %d", len(rd.Samples), len(d.Samples)))
+		case !rd.Start.Equal(d.Start) || !rd.End.Equal(d.End) || rd.Period != d.Period:
+			fail(fmt.Errorf("check: experiment bounds changed"))
+		}
+	}
+
+	inInfo, err := os.Stat(in)
+	if err != nil {
+		fail(err)
+	}
+	outInfo, err := os.Stat(out)
+	if err != nil {
+		fail(err)
+	}
+	pct := 0.0
+	if inInfo.Size() > 0 {
+		pct = 100 * float64(outInfo.Size()) / float64(inInfo.Size())
+	}
+	fmt.Fprintf(os.Stderr, "traceconv: %s (%s) -> %s (%s), %.1f%% of input\n",
+		in, human(inInfo.Size()), out, human(outInfo.Size()), pct)
+}
