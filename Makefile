@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo
+.PHONY: build test verify bench fuzz telemetry-demo doctor
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (name → ns/op,
@@ -30,11 +30,40 @@ bench:
 	    | $(GO) run ./tools/benchjson -o $(BENCHJSON)
 
 # fuzz smoke-runs the codec fuzzers (probe report parser, TBv1 trace
-# reader) for $(FUZZTIME) each. The committed corpora under testdata/fuzz
-# replay on every plain `go test` run; this target explores new inputs.
+# reader, format sniffer) for $(FUZZTIME) each. The committed corpora
+# under testdata/fuzz replay on every plain `go test` run; this target
+# explores new inputs.
 fuzz:
 	$(GO) test ./internal/probe/ -run '^$$' -fuzz '^FuzzParseBytes$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadAny$$' -fuzztime $(FUZZTIME)
+
+# Trace doctor knobs: which sim seeds the differential suite replays and
+# how many simulated days per seed (the full paper run is 77 days; 7 is
+# enough to exercise outages, reboots and session churn in CI time).
+DOCTORSEEDS ?= 1,2,3
+DOCTORDAYS ?= 7
+
+# doctor is the validation gate: for every seed it re-runs the repo's
+# equivalence claims (serial vs workers collection, CSV/TBv1 round
+# trips, legacy vs zero-alloc probe codec, serial vs parallel analysis)
+# and invariant-checks the collected trace in both formats; then the
+# negative leg writes the corrupted-fixture corpus and asserts -check
+# flags every fixture (and does not flag the clean one).
+doctor:
+	$(GO) run ./tools/tracedoctor -selftest -seeds $(DOCTORSEEDS) -days $(DOCTORDAYS)
+	@dir=$$(mktemp -d); \
+	trap 'rm -rf $$dir' EXIT; \
+	$(GO) run ./tools/tracedoctor -write-corpus $$dir >/dev/null || exit 1; \
+	$(GO) run ./tools/tracedoctor -check $$dir/clean.csv >/dev/null \
+	    || { echo "doctor: clean fixture flagged"; exit 1; }; \
+	for f in $$dir/*.csv; do \
+	    case $$f in */clean.csv) continue;; esac; \
+	    if $(GO) run ./tools/tracedoctor -check $$f >/dev/null 2>&1; then \
+	        echo "doctor: undetected corruption in $$f"; exit 1; \
+	    fi; \
+	done; \
+	echo "doctor: corrupted-fixture corpus ok"
 
 # telemetry-demo runs the live collector with the metrics endpoint and
 # span trace enabled, scrapes it mid-run, and fails if /metrics or

@@ -259,6 +259,41 @@ func TestUptimeRatios(t *testing.T) {
 	}
 }
 
+// TestUptimeRatiosDuplicateSamples is the regression test for the
+// overcounting bug: a trace carrying duplicate samples for one machine
+// in one iteration (collector retry bug, careless merge) used to count
+// raw samples in the numerator, inflating the ratio beyond 1. The fixed
+// numerator counts distinct iterations answered, so duplicates are
+// invisible to the ratio.
+func TestUptimeRatiosDuplicateSamples(t *testing.T) {
+	b := newBuilder(1, "M1", "M2")
+	boot := t0
+	for i := 1; i <= 4; i++ {
+		b.sample(i, "M1", boot, 0.9, "", time.Time{})
+		// M1 answers every iteration twice: 8 raw samples over 4
+		// iterations. Pre-fix this yielded Ratio = 8/4 = 2.
+		b.sample(i, "M1", boot, 0.9, "", time.Time{})
+		if i <= 2 {
+			b.sample(i, "M2", boot, 0.9, "", time.Time{})
+		}
+	}
+	us := UptimeRatios(b.d)
+	if len(us) != 2 {
+		t.Fatalf("ratios = %d", len(us))
+	}
+	for _, u := range us {
+		if u.Ratio > 1 {
+			t.Errorf("machine %s Ratio = %v > 1: duplicate samples overcounted", u.Machine, u.Ratio)
+		}
+	}
+	if us[0].Machine != "M1" || us[0].Ratio != 1 {
+		t.Errorf("M1 with duplicates = %+v, want Ratio 1", us[0])
+	}
+	if us[1].Machine != "M2" || us[1].Ratio != 0.5 {
+		t.Errorf("M2 = %+v, want Ratio 0.5", us[1])
+	}
+}
+
 func TestDetectSessions(t *testing.T) {
 	b := newBuilder(1, "M1")
 	boot1 := t0

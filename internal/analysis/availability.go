@@ -70,9 +70,18 @@ type MachineUptime struct {
 }
 
 // UptimeRatios computes the per-machine uptime ratios, sorted in
-// descending order like the paper's Figure 4 (left). Per-machine sample
-// counts come straight from the index's spans — no per-call counting
+// descending order like the paper's Figure 4 (left). Per-machine
+// samples come straight from the index's spans — no per-call counting
 // pass.
+//
+// The numerator counts *distinct iterations answered*, not raw samples:
+// a trace carrying duplicate samples for one machine in one iteration
+// (a collector retry bug, a careless merge) used to inflate the ratio,
+// up to the absurd Ratio > 1 — "more available than always on". The
+// dataset invariant checker flags such traces (KindDuplicateSample);
+// this function now also computes the right answer on them. The spans
+// are time-sorted, so deduplication is one adjacent comparison per
+// sample.
 func UptimeRatios(d *trace.Dataset) []MachineUptime {
 	attempts := len(d.Iterations)
 	if attempts == 0 {
@@ -81,7 +90,14 @@ func UptimeRatios(d *trace.Dataset) []MachineUptime {
 	idx := d.Index()
 	out := make([]MachineUptime, 0, len(d.Machines))
 	for _, m := range d.Machines {
-		ratio := float64(len(idx.Samples(m.ID))) / float64(attempts)
+		ss := idx.Samples(m.ID)
+		answered := 0
+		for i := range ss {
+			if i == 0 || ss[i].Iter != ss[i-1].Iter {
+				answered++
+			}
+		}
+		ratio := float64(answered) / float64(attempts)
 		out = append(out, MachineUptime{
 			Machine: m.ID,
 			Ratio:   ratio,

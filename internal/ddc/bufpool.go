@@ -31,6 +31,24 @@ var reportBufPool = sync.Pool{
 	New: func() any { return &reportBuf{b: make([]byte, 0, reportBufCap)} },
 }
 
+// PoisonBuffers is the pool's use-after-put tripwire. When true, every
+// buffer returned to the pool is first overwritten with poisonByte up to
+// its full capacity, so any consumer that illegally retained a slice
+// aliasing a recycled buffer (violating the PostCollect lifetime
+// contract) reads 0xDB garbage instead of silently reading a newer
+// probe's report — turning a heisenbug into a deterministic test
+// failure. The ddc test binary enables it for the whole package run
+// (TestMain); production leaves it off, keeping putReportBuf free.
+//
+// Flip it only while no collection is in flight — it is read without
+// synchronisation on the put path.
+var PoisonBuffers = false
+
+// poisonByte fills returned buffers under PoisonBuffers. 0xDB ("dead
+// buffer") is outside the report codec's alphabet, so a poisoned read
+// can never parse as a valid report.
+const poisonByte = 0xDB
+
 // getReportBuf fetches an empty buffer from the pool.
 func getReportBuf() *reportBuf {
 	rb := reportBufPool.Get().(*reportBuf)
@@ -39,8 +57,17 @@ func getReportBuf() *reportBuf {
 }
 
 // putReportBuf returns a buffer to the pool. The caller must not touch
-// rb (or any slice aliasing rb.b) afterwards.
-func putReportBuf(rb *reportBuf) { reportBufPool.Put(rb) }
+// rb (or any slice aliasing rb.b) afterwards — under PoisonBuffers the
+// contents are destroyed right here.
+func putReportBuf(rb *reportBuf) {
+	if PoisonBuffers {
+		full := rb.b[:cap(rb.b)]
+		for i := range full {
+			full[i] = poisonByte
+		}
+	}
+	reportBufPool.Put(rb)
+}
 
 // connReaderPool pools the bufio.Readers the TCP transport wraps around
 // connections — the agent and the executor each used to allocate a fresh

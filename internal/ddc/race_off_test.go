@@ -1,0 +1,9 @@
+//go:build !race
+
+package ddc
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. Allocation-count guards skip under it: race instrumentation
+// adds bookkeeping allocations that testing.AllocsPerRun cannot tell
+// apart from real ones.
+const raceEnabled = false

@@ -31,6 +31,13 @@ type DatasetSink struct {
 	bookedParseErrs int
 
 	tel sinkTelemetry
+
+	// onSample / onIter, when non-nil, observe every committed sample and
+	// iteration record under the sink lock — the attachment point for the
+	// streaming invariant checker (AttachCheck). Nil (the default) keeps
+	// the commit path branch-cheap and allocation-free.
+	onSample func(*trace.Sample)
+	onIter   func(trace.Iteration)
 }
 
 // NewDatasetSink creates a sink collecting into a dataset with the given
@@ -102,6 +109,9 @@ func (s *DatasetSink) commit(iter int, machineID string, sn machine.Snapshot, pe
 	}
 	s.d.Samples = append(s.d.Samples, trace.FromSnapshot(iter, sn))
 	s.tel.samples.Inc()
+	if s.onSample != nil {
+		s.onSample(&s.d.Samples[len(s.d.Samples)-1])
+	}
 }
 
 // OnIteration records per-iteration bookkeeping; wire it to the
@@ -113,12 +123,16 @@ func (s *DatasetSink) OnIteration(info IterationInfo) {
 	defer s.mu.Unlock()
 	perrs := s.ParseErrors - s.bookedParseErrs
 	s.bookedParseErrs = s.ParseErrors
-	s.d.Iterations = append(s.d.Iterations, trace.Iteration{
+	it := trace.Iteration{
 		Iter: info.Iter, Start: info.Start, End: info.End,
 		Attempted: info.Attempted, Responded: info.Responded,
 		ParseErrors: perrs,
-	})
+	}
+	s.d.Iterations = append(s.d.Iterations, it)
 	s.tel.iterations.Inc()
+	if s.onIter != nil {
+		s.onIter(it)
+	}
 }
 
 // Dataset returns the collected dataset. The last parse error, if any, is

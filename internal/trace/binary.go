@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -463,15 +464,47 @@ func readBinary(br *bufio.Reader) (*Dataset, error) {
 	return ds, nil
 }
 
+// gzipMagic is the two-byte gzip member header (RFC 1952). ReadAny
+// sniffs it so compressed traces load even when the path-based ".gz"
+// detection never ran (stdin, pipes, misnamed files).
+var gzipMagic = []byte{0x1f, 0x8b}
+
 // ReadAny deserialises a dataset in either format, sniffing the content:
-// a stream opening with the TBv1 magic decodes as binary, anything else
-// parses as CSV. Existing consumers switch to ReadAny (via ReadFile) and
-// load both transparently.
+// a stream opening with the TBv1 magic decodes as binary, a gzip stream
+// is transparently decompressed and re-sniffed, anything else parses as
+// CSV. Existing consumers switch to ReadAny (via ReadFile) and load both
+// transparently.
+//
+// Edge cases get addressed errors instead of the CSV reader's generic
+// complaint: an empty stream reports itself as empty, and a stream that
+// ends inside the four-byte TBv1 magic (a truncated binary trace —
+// nothing CSV ever starts with 'W') reports the truncation.
 func ReadAny(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, ioBufSize)
 	head, err := br.Peek(len(magicTB))
-	if err == nil && bytes.Equal(head, magicTB) {
+	switch {
+	case err == nil && bytes.Equal(head, magicTB):
 		return readBinary(br)
+	case bytes.HasPrefix(head, gzipMagic):
+		// Compressed stream: decompress and sniff the payload again (a
+		// .tb.gz read without extension hints lands here). gzip members
+		// never open with 'H' or 'W', so this cannot shadow either
+		// uncompressed format.
+		gz, gerr := gzip.NewReader(br)
+		if gerr != nil {
+			return nil, fmt.Errorf("trace: gzip stream: %w", gerr)
+		}
+		defer gz.Close()
+		return ReadAny(gz)
+	case len(head) == 0 && err != nil:
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty stream")
+		}
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	case err != nil && len(head) < len(magicTB) && bytes.HasPrefix(magicTB, head):
+		// Short stream that is a proper prefix of the TBv1 magic: a
+		// truncated binary trace, not a CSV (whose header starts "H,").
+		return nil, fmt.Errorf("trace: truncated TBv1 stream (%d bytes)", len(head))
 	}
 	// Read re-wraps in a bufio of the same size; bufio.NewReaderSize
 	// returns br itself, so no data is lost and nothing is re-buffered.

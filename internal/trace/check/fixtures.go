@@ -1,0 +1,191 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"winlab/internal/trace"
+)
+
+// This file builds the checker's own validation corpus: one small clean
+// dataset plus one deliberately corrupted variant per invariant class.
+// The corpus is exported because three consumers share it: the check
+// package's unit tests, the tracedoctor CLI's -write-corpus mode (the
+// negative leg of `make doctor`, which must see a non-zero exit on every
+// corrupted trace), and the TBv1 fuzz corpus (violation-bearing datasets
+// make good structural seeds).
+
+// Fixture is one corrupted dataset together with the violation the
+// checker is expected to report for it.
+type Fixture struct {
+	Name    string // short slug, usable as a file name
+	Kind    Kind   // expected violation kind
+	Machine string // expected machine coordinate; "" = dataset-level
+
+	// Serializable is false when the corruption lives in in-memory
+	// state that a write/read round trip repairs (e.g. a stale frozen
+	// index) — such fixtures cannot be materialised as trace files.
+	Serializable bool
+
+	Dataset *trace.Dataset
+}
+
+var (
+	fixT0     = time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	fixPeriod = 15 * time.Minute
+)
+
+// CleanFixture hand-builds a small dataset that satisfies every
+// invariant: two machines over four iterations, machine lab1-m1
+// rebooting before iteration 2, machine lab1-m2 holding an interactive
+// session throughout.
+func CleanFixture() *trace.Dataset {
+	d := &trace.Dataset{
+		Start:  fixT0,
+		End:    fixT0.Add(4 * fixPeriod),
+		Period: fixPeriod,
+		Machines: []trace.MachineInfo{
+			{ID: "lab1-m1", Lab: "lab1", RAMMB: 256, DiskGB: 40, IntIndex: 1, FPIndex: 1},
+			{ID: "lab1-m2", Lab: "lab1", RAMMB: 512, DiskGB: 80, IntIndex: 2, FPIndex: 2},
+		},
+	}
+	boot1 := fixT0.Add(-1 * time.Hour)
+	boot2 := fixT0.Add(-30 * time.Minute)
+	for i := 0; i < 4; i++ {
+		itStart := fixT0.Add(time.Duration(i) * fixPeriod)
+		d.Iterations = append(d.Iterations, trace.Iteration{
+			Iter: i, Start: itStart, End: itStart.Add(30 * time.Second),
+			Attempted: 2, Responded: 2,
+		})
+
+		// lab1-m1: reboots between iterations 1 and 2.
+		s1 := trace.Sample{
+			Iter: i, Time: itStart.Add(5 * time.Second), Machine: "lab1-m1", Lab: "lab1",
+			BootTime: boot1,
+			Uptime:   time.Hour + time.Duration(i)*fixPeriod,
+			CPUIdle:  50*time.Minute + time.Duration(i)*10*time.Minute,
+			DiskGB:   40, FreeDiskGB: 21.5,
+			PowerCycles: 5, PowerOnHours: 120,
+			SentBytes: 1000 * uint64(i+1), RecvBytes: 9000 * uint64(i+1),
+		}
+		if i >= 2 {
+			reboot := fixT0.Add(2*fixPeriod - 2*time.Minute)
+			s1.BootTime = reboot
+			s1.Uptime = s1.Time.Sub(reboot)
+			s1.CPUIdle = time.Duration(i) * time.Minute
+			s1.PowerCycles = 6
+			s1.PowerOnHours = 121
+			s1.SentBytes = 10 * uint64(i)
+			s1.RecvBytes = 90 * uint64(i)
+		}
+		// lab1-m2: always up, alice logged in since before the experiment.
+		s2 := trace.Sample{
+			Iter: i, Time: itStart.Add(7 * time.Second), Machine: "lab1-m2", Lab: "lab1",
+			BootTime: boot2,
+			Uptime:   30*time.Minute + time.Duration(i)*fixPeriod,
+			CPUIdle:  20*time.Minute + time.Duration(i)*5*time.Minute,
+			DiskGB:   80, FreeDiskGB: 60,
+			PowerCycles: 17, PowerOnHours: 3000,
+			SentBytes: 500 * uint64(i+1), RecvBytes: 4000 * uint64(i+1),
+			SessionUser: "alice", SessionStart: fixT0.Add(-20 * time.Minute),
+		}
+		d.Samples = append(d.Samples, s1, s2)
+	}
+	return d
+}
+
+// fixtureSample locates machine's sample for iter in d; the corpus is
+// hand-built, so a miss is a programming error.
+func fixtureSample(d *trace.Dataset, machine string, iter int) *trace.Sample {
+	for i := range d.Samples {
+		if d.Samples[i].Machine == machine && d.Samples[i].Iter == iter {
+			return &d.Samples[i]
+		}
+	}
+	panic(fmt.Sprintf("check: fixture has no sample for %s iter %d", machine, iter))
+}
+
+// CorruptedFixtures returns the corpus: one freshly built corrupted
+// dataset per invariant class, each annotated with the violation Kind
+// and machine coordinate the checker must report.
+func CorruptedFixtures() []Fixture {
+	mk := func(name string, kind Kind, machine string, corrupt func(d *trace.Dataset)) Fixture {
+		d := CleanFixture()
+		corrupt(d)
+		return Fixture{Name: name, Kind: kind, Machine: machine, Serializable: true, Dataset: d}
+	}
+	fixtures := []Fixture{
+		mk("uptime-regression", KindCounterRegression, "lab1-m2", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m2", 2).Uptime = time.Minute
+		}),
+		mk("network-counter-regression", KindCounterRegression, "lab1-m2", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m2", 3).SentBytes = 1
+		}),
+		mk("power-on-hours-decrease", KindSMARTRegression, "lab1-m1", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m1", 3).PowerOnHours = 1
+		}),
+		mk("power-cycles-flat-across-reboot", KindSMARTRegression, "lab1-m1", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m1", 2).PowerCycles = 5
+			fixtureSample(d, "lab1-m1", 3).PowerCycles = 5
+		}),
+		mk("iterations-out-of-order", KindIterationOrder, "", func(d *trace.Dataset) {
+			d.Iterations[1], d.Iterations[2] = d.Iterations[2], d.Iterations[1]
+		}),
+		mk("iteration-off-grid", KindIterationAlignment, "", func(d *trace.Dataset) {
+			d.Iterations[2].Start = d.Iterations[2].Start.Add(time.Minute)
+			d.Iterations[2].End = d.Iterations[2].End.Add(time.Minute)
+		}),
+		mk("duplicate-sample-in-iteration", KindDuplicateSample, "lab1-m1", func(d *trace.Dataset) {
+			dup := *fixtureSample(d, "lab1-m1", 1)
+			dup.Time = dup.Time.Add(2 * time.Second)
+			d.Samples = append(d.Samples, dup)
+		}),
+		mk("session-start-without-user", KindSessionState, "lab1-m1", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m1", 1).SessionStart = fixT0
+		}),
+		// ^ not serialisable: both codecs only encode SessionStart when a
+		// user is present, so a round trip erases this corruption. Fixed
+		// up below.
+		mk("session-starting-after-sample", KindSessionState, "lab1-m2", func(d *trace.Dataset) {
+			s := fixtureSample(d, "lab1-m2", 0)
+			s.SessionStart = s.Time.Add(time.Hour)
+		}),
+		mk("sample-after-iteration-end", KindSampleBounds, "lab1-m2", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m2", 1).Time = d.Iterations[1].End.Add(time.Minute)
+		}),
+		mk("sample-outside-experiment", KindSampleBounds, "lab1-m1", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m1", 0).Time = fixT0.Add(-time.Hour)
+		}),
+		mk("sample-missing-iteration", KindSampleBounds, "lab1-m1", func(d *trace.Dataset) {
+			fixtureSample(d, "lab1-m1", 3).Iter = 99
+		}),
+		mk("machine-not-catalogued", KindUnknownMachine, "lab1-m2", func(d *trace.Dataset) {
+			d.Machines = d.Machines[:1]
+		}),
+		mk("responded-mismatch", KindResponseAccounting, "", func(d *trace.Dataset) {
+			d.Iterations[2].Responded = 1
+		}),
+	}
+
+	for i := range fixtures {
+		if fixtures[i].Name == "session-start-without-user" {
+			fixtures[i].Serializable = false
+		}
+	}
+
+	// The index-staleness fixture corrupts in-memory state only: freeze,
+	// then swap two samples' time/iter in place without InvalidateIndex,
+	// leaving the frozen span unsorted. A file round trip re-sorts and
+	// repairs it, so it is not serialisable.
+	stale := CleanFixture()
+	stale.Index()
+	a := fixtureSample(stale, "lab1-m1", 0)
+	b := fixtureSample(stale, "lab1-m1", 1)
+	a.Time, b.Time = b.Time, a.Time
+	a.Iter, b.Iter = b.Iter, a.Iter
+	fixtures = append(fixtures, Fixture{
+		Name: "index-stale-after-edit", Kind: KindIndexMismatch, Machine: "lab1-m1",
+		Serializable: false, Dataset: stale,
+	})
+	return fixtures
+}

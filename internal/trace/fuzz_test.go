@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 // FuzzReadBinary hammers the TBv1 decoder with arbitrary bytes: malformed
@@ -29,6 +30,31 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(append([]byte("WLTB\x01"), 0, 0, 0, 0, 0, 0, 0,
 		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10)) // huge count
 	f.Add(append(append([]byte(nil), valid...), 0xFF)) // trailing byte
+
+	// Checker-violation seeds: traces that decode fine but carry
+	// invariant-violating data (the trace doctor's bread and butter).
+	// The codec must stay judgement-free — fidelity for bad data too —
+	// and these seeds keep the fuzzer exploring the negative-delta and
+	// duplicate-record encodings that clean traces rarely produce.
+	addSeed := func(mutate func(d *Dataset)) {
+		d := newDataset()
+		mutate(d)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// counter regression:
+	addSeed(func(d *Dataset) { d.Samples[1].Uptime = time.Minute })
+	// SMART regression (negative delta):
+	addSeed(func(d *Dataset) { d.Samples[2].PowerOnHours = -100 })
+	// duplicate sample:
+	addSeed(func(d *Dataset) { d.Samples = append(d.Samples, d.Samples[0]) })
+	// iteration disorder:
+	addSeed(func(d *Dataset) { d.Iterations[1].Start = d.Iterations[0].Start.Add(-time.Hour) })
+	// sample out of bounds:
+	addSeed(func(d *Dataset) { d.Samples[0].Time = d.End.Add(time.Hour) })
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := ReadBinary(bytes.NewReader(data))

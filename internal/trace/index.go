@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,6 +41,13 @@ type Index struct {
 	attempts int
 	days     float64
 
+	// stale is set by Dataset.InvalidateIndex: the dataset's sample
+	// fields were edited in place, so every cached derived slice (the
+	// interval pairs in particular) may describe values that no longer
+	// exist. The fingerprint cannot see in-place edits — this flag is how
+	// the read paths learn about them.
+	stale atomic.Bool
+
 	mu    sync.RWMutex
 	pairs map[time.Duration][]Interval // maxGap → same-boot pairs, machine order
 }
@@ -76,9 +84,17 @@ func (d *Dataset) Index() *Index {
 
 // InvalidateIndex drops the cached index. Use after mutating sample
 // fields in place (structural changes are detected automatically).
+//
+// The dropped index is also marked stale, so a consumer still holding a
+// reference to it (handed out before the edit) cannot observe cached
+// derived data — its Intervals calls transparently delegate to the
+// dataset's fresh index instead of serving pre-edit pairs.
 func (d *Dataset) InvalidateIndex() {
 	d.idxMu.Lock()
 	defer d.idxMu.Unlock()
+	if ix := d.idx.Load(); ix != nil {
+		ix.stale.Store(true)
+	}
 	d.idx.Store(nil)
 }
 
@@ -117,6 +133,16 @@ func (d *Dataset) freezeLocked() *Index {
 	ix.days = d.End.Sub(d.Start).Hours() / 24
 	d.idx.Store(ix)
 	return ix
+}
+
+// Valid reports whether the index still describes its dataset: the
+// structural fingerprint matches (no appends, truncations or
+// reallocations since freeze) and InvalidateIndex has not flagged an
+// in-place edit. The trace doctor uses this as the index-agreement
+// invariant; analysis code normally never needs it because
+// Dataset.Index() re-freezes automatically.
+func (ix *Index) Valid() bool {
+	return !ix.stale.Load() && ix.valid()
 }
 
 // valid reports whether the index still matches the dataset's structure.
@@ -174,6 +200,16 @@ func (ix *Index) Days() float64 { return ix.days }
 // order. The slice is computed once per distinct maxGap and cached;
 // callers must treat it as read-only.
 func (ix *Index) Intervals(maxGap time.Duration) []Interval {
+	// Staleness re-check on the read path: if the dataset was edited in
+	// place (InvalidateIndex) or structurally mutated since this index
+	// froze, the cached pairs point at pre-edit values. Delegate to the
+	// dataset's current index — Dataset.Index() rebuilds as needed — so a
+	// held stale handle can never serve stale intervals.
+	if ix.stale.Load() || !ix.valid() {
+		if cur := ix.ds.Index(); cur != ix {
+			return cur.Intervals(maxGap)
+		}
+	}
 	ix.mu.RLock()
 	ivs, ok := ix.pairs[maxGap]
 	ix.mu.RUnlock()

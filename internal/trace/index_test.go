@@ -123,6 +123,112 @@ func TestInvalidateIndex(t *testing.T) {
 	}
 }
 
+// TestIndexStaleIntervalsNotObservable is the regression test for the
+// stale-cache bug: a consumer holding an Index reference across an
+// in-place edit + InvalidateIndex could keep reading the pre-edit
+// interval pairs out of the handle's cache. The read path now re-checks
+// the staleness flag and fingerprint and delegates to the dataset's
+// fresh index, so the held handle can never serve pre-edit pairs.
+func TestIndexStaleIntervalsNotObservable(t *testing.T) {
+	d := newDataset()
+	ix := d.Index()
+	before := ix.Intervals(0)
+	if len(before) != 3 {
+		t.Fatalf("baseline pairs = %d, want 3", len(before))
+	}
+	if !ix.Valid() {
+		t.Fatal("fresh index reports !Valid()")
+	}
+
+	// In-place edit: M1's middle sample moves to a different boot, which
+	// breaks both same-boot pairs it participated in (3 pairs -> 1).
+	// Samples are machine/time sorted after freeze, so [1] is M1@30min.
+	if d.Samples[1].Machine != "M1" {
+		t.Fatalf("sorted sample order changed: [1] is %s", d.Samples[1].Machine)
+	}
+	d.Samples[1].BootTime = d.Samples[1].Time.Add(-time.Minute)
+	d.Samples[1].Uptime = time.Minute
+	d.InvalidateIndex()
+
+	if ix.Valid() {
+		t.Error("edited-under index still reports Valid()")
+	}
+	fresh := d.Index()
+	if fresh == ix {
+		t.Fatal("InvalidateIndex did not drop the cached index")
+	}
+	if !fresh.Valid() {
+		t.Error("rebuilt index reports !Valid()")
+	}
+	want := fresh.Intervals(0)
+	if len(want) != 1 {
+		t.Fatalf("post-edit pairs = %d, want 1", len(want))
+	}
+	// The held stale handle must answer with the fresh pairs, not its
+	// own pre-edit cache.
+	got := ix.Intervals(0)
+	if len(got) != len(want) {
+		t.Fatalf("stale handle served %d pairs, fresh index has %d", len(got), len(want))
+	}
+	if &got[0] != &want[0] {
+		t.Error("stale handle did not delegate to the fresh index cache")
+	}
+}
+
+// TestIndexStaleHandleConcurrentReaders exercises the staleness check
+// under the race detector: after an in-place edit lands, many readers
+// hammer the *stale* handle's Intervals/Valid concurrently while others
+// re-freeze through Dataset.Index(). The atomic staleness flag and the
+// delegation path must be race-clean and must only ever surface
+// post-edit pairs.
+func TestIndexStaleHandleConcurrentReaders(t *testing.T) {
+	d := newDataset()
+	stale := d.Index()
+	if n := len(stale.Intervals(0)); n != 3 {
+		t.Fatalf("baseline pairs = %d, want 3", n)
+	}
+
+	// Publish the edit before any reader starts (edits between Intervals
+	// calls, not concurrent with them — concurrent in-place edits of
+	// sample fields are a real data race and out of contract).
+	d.Samples[1].BootTime = d.Samples[1].Time.Add(-time.Minute)
+	d.Samples[1].Uptime = time.Minute
+	d.InvalidateIndex()
+
+	start := make(chan struct{})
+	done := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		handle := stale
+		if i%2 == 1 {
+			handle = nil // reader re-resolves via d.Index() each round
+		}
+		go func(h *Index) {
+			<-start
+			worst := 3
+			for j := 0; j < 100; j++ {
+				ix := h
+				if ix == nil {
+					ix = d.Index()
+				}
+				if n := len(ix.Intervals(0)); n < worst {
+					worst = n
+				}
+				_ = ix.Valid()
+			}
+			done <- worst
+		}(handle)
+	}
+	close(start)
+	for i := 0; i < 16; i++ {
+		if worst := <-done; worst != 1 {
+			t.Errorf("reader observed %d pairs, want 1 (stale cache leaked)", worst)
+		}
+	}
+	if stale.Valid() {
+		t.Error("stale handle reports Valid() after the edit")
+	}
+}
+
 func TestIndexConcurrentReaders(t *testing.T) {
 	d := newDataset()
 	done := make(chan struct{})

@@ -103,12 +103,21 @@ func ParseFormat(s string) (Format, error) {
 
 // formatForPath resolves FormatAuto from a file name: a ".tb" or ".tbv1"
 // extension (before an optional ".gz") selects the binary format.
+// Matching is case-insensitive — "TRACE.TB.GZ" from a case-mangling
+// Windows share is the same trace as "trace.tb.gz".
 func formatForPath(path string) Format {
-	p := strings.TrimSuffix(path, ".gz")
+	p := strings.TrimSuffix(strings.ToLower(path), ".gz")
 	if strings.HasSuffix(p, ".tb") || strings.HasSuffix(p, ".tbv1") {
 		return FormatTB
 	}
 	return FormatCSV
+}
+
+// gzipPath reports whether the path names a gzip-compressed trace
+// (".gz", any case). The ".tb.gz"/".tbv1.gz" double extensions compose
+// with formatForPath: compression and format are independent axes.
+func gzipPath(path string) bool {
+	return strings.HasSuffix(strings.ToLower(path), ".gz")
 }
 
 // WriteFile serialises the dataset to a file. A path ending in ".gz" is
@@ -131,7 +140,7 @@ func WriteFileFormat(path string, d *Dataset, format Format) error {
 	}
 	var w io.Writer = f
 	var gz *gzip.Writer
-	if strings.HasSuffix(path, ".gz") {
+	if gzipPath(path) {
 		gz = gzip.NewWriter(f)
 		w = gz
 	}
@@ -294,16 +303,10 @@ func ReadFile(path string) (*Dataset, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var r io.Reader = f
-	if strings.HasSuffix(path, ".gz") {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			return nil, fmt.Errorf("trace: %s: %w", path, err)
-		}
-		defer gz.Close()
-		r = gz
-	}
-	return ReadAny(r)
+	// No explicit gzip branch: ReadAny sniffs the gzip magic in the
+	// content, so a compressed trace loads regardless of how the file is
+	// named (".gz", ".GZ", or no extension at all).
+	return ReadAny(f)
 }
 
 func parseSampleRow(rec []string) (Sample, error) {

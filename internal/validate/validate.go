@@ -1,0 +1,287 @@
+// Package validate is the differential half of the trace doctor: it
+// re-runs, as a library, every equivalence claim the repo's performance
+// work rests on. PRs 1–4 rebuilt the pipeline for speed — frozen index,
+// deferred executor, pooled buffers, append/in-place codec, TBv1 — and
+// each rewrite came with an "identical output" claim asserted in some
+// test. This package centralises those claims so the tracedoctor CLI
+// and `make doctor` can exercise all of them against arbitrary seeds,
+// diffing down to the first divergent field via check.FirstDiff /
+// check.DiffDatasets instead of a bare reflect.DeepEqual boolean:
+//
+//   - serial vs -workers N collection (experiment.Run with Workers=1
+//     against Workers=2 and N; the workers arm routes through the
+//     AppendDeferredExecutor + PrepareCollect two-phase path, so this
+//     one differential covers both the "serial vs workers" and the
+//     "sequential vs deferred executor" claims);
+//   - CSV write→read→write byte stability, and Dataset→TBv1→Dataset
+//     identity (the binary codec is lossless by design);
+//   - trace.ReadAny format sniffing agreeing with the explicit readers;
+//   - legacy probe.Render/Parse vs the zero-allocation
+//     AppendRender/Parser.ParseBytes pair, byte- and field-identical;
+//   - analysis.All with Workers=1 (the exact serial path) vs a parallel
+//     pool, bit-identical across all ten artefacts;
+//   - and, finally, the invariant checker itself over the collected
+//     dataset — a differential suite is pointless if both arms agree on
+//     corrupt data.
+package validate
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"winlab/internal/analysis"
+	"winlab/internal/experiment"
+	"winlab/internal/machine"
+	"winlab/internal/probe"
+	"winlab/internal/trace"
+	"winlab/internal/trace/check"
+)
+
+// Failure is one broken equivalence claim: which check, and the first
+// divergence it found.
+type Failure struct {
+	Check  string // e.g. "collect/serial-vs-workers/dataset"
+	Detail string // first divergent field, with coordinates
+}
+
+func (f Failure) String() string { return f.Check + ": " + f.Detail }
+
+// Config parameterises a Suite run.
+type Config struct {
+	Seed    int64 // simulation seed; zero means 1
+	Days    int   // experiment length; zero means 7 (the full paper run is 77)
+	Workers int   // parallel-arm width; zero means 8
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.Workers <= 1 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Suite runs every differential check for one seed and returns the
+// failures; an empty slice means every equivalence claim held.
+func Suite(cfg Config) []Failure {
+	cfg = cfg.withDefaults()
+	var fails []Failure
+	add := func(name, detail string) {
+		if detail != "" {
+			fails = append(fails, Failure{Check: name, Detail: detail})
+		}
+	}
+
+	serial, err := run(cfg, 1)
+	if err != nil {
+		// Without the reference arm nothing else can run.
+		return append(fails, Failure{Check: "collect/serial", Detail: err.Error()})
+	}
+
+	// Collection: serial vs the deferred two-phase path at two widths
+	// (2 catches partitioning bugs a wide pool can mask, N catches
+	// contention bugs 2 cannot see).
+	for _, w := range []int{2, cfg.Workers} {
+		par, err := run(cfg, w)
+		name := fmt.Sprintf("collect/serial-vs-workers%d", w)
+		if err != nil {
+			add(name, err.Error())
+			continue
+		}
+		add(name+"/dataset", check.DiffDatasets(serial.Dataset, par.Dataset))
+		add(name+"/stats", check.FirstDiff(serial.Collector, par.Collector))
+	}
+
+	add("trace/csv-write-read-write", diffCSVRoundTrip(serial.Dataset))
+	add("trace/tbv1-roundtrip", diffTBRoundTrip(serial.Dataset))
+	add("trace/readany-sniff", diffReadAny(serial.Dataset))
+
+	add("probe/render-legacy-vs-append", diffRender())
+	add("probe/parse-legacy-vs-reused-parser", diffParse())
+
+	r1 := analysis.All(serial.Dataset, analysis.Options{Workers: 1})
+	rN := analysis.All(serial.Dataset, analysis.Options{Workers: cfg.Workers})
+	add("analysis/serial-vs-parallel", check.FirstDiff(r1, rN))
+
+	if r := check.Check(serial.Dataset, check.Options{}); !r.OK() {
+		add("check/invariants", r.Err().Error())
+	}
+	return fails
+}
+
+// Run executes one serial collection arm for cfg — the reference run
+// the suite diffs everything against. Exported so the tracedoctor CLI
+// can reuse the same configuration for its file-level round trips.
+func Run(cfg Config) (*experiment.Result, error) {
+	return run(cfg.withDefaults(), 1)
+}
+
+func run(cfg Config, workers int) (*experiment.Result, error) {
+	ec := experiment.Default(cfg.Seed)
+	ec.Days = cfg.Days
+	ec.Workers = workers
+	return experiment.Run(ec)
+}
+
+// diffCSVRoundTrip asserts write→read→write is byte-stable: the textual
+// format is lossy against the in-memory dataset (%.3f floats), but one
+// read/write cycle must be a fixed point.
+func diffCSVRoundTrip(ds *trace.Dataset) string {
+	var b1 bytes.Buffer
+	if err := trace.Write(&b1, ds); err != nil {
+		return "write: " + err.Error()
+	}
+	ds2, err := trace.Read(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		return "read back: " + err.Error()
+	}
+	var b2 bytes.Buffer
+	if err := trace.Write(&b2, ds2); err != nil {
+		return "re-write: " + err.Error()
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		return fmt.Sprintf("CSV not byte-stable after a read/write cycle: first divergence at byte %d (sizes %d vs %d)",
+			firstByteDiff(b1.Bytes(), b2.Bytes()), b1.Len(), b2.Len())
+	}
+	return ""
+}
+
+// diffTBRoundTrip asserts Dataset→TBv1→Dataset is the identity.
+func diffTBRoundTrip(ds *trace.Dataset) string {
+	var b bytes.Buffer
+	if err := trace.WriteBinary(&b, ds); err != nil {
+		return "write: " + err.Error()
+	}
+	ds2, err := trace.ReadBinary(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		return "read back: " + err.Error()
+	}
+	return check.DiffDatasets(ds, ds2)
+}
+
+// diffReadAny asserts the content-sniffing reader agrees with the
+// explicit CSV and TBv1 readers on the same bytes.
+func diffReadAny(ds *trace.Dataset) string {
+	var csv, tb bytes.Buffer
+	if err := trace.Write(&csv, ds); err != nil {
+		return "write csv: " + err.Error()
+	}
+	if err := trace.WriteBinary(&tb, ds); err != nil {
+		return "write tbv1: " + err.Error()
+	}
+	want, err := trace.Read(bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		return "csv read: " + err.Error()
+	}
+	got, err := trace.ReadAny(bytes.NewReader(csv.Bytes()))
+	if err != nil {
+		return "readany(csv): " + err.Error()
+	}
+	if d := check.DiffDatasets(want, got); d != "" {
+		return "readany(csv) " + d
+	}
+	got, err = trace.ReadAny(bytes.NewReader(tb.Bytes()))
+	if err != nil {
+		return "readany(tbv1): " + err.Error()
+	}
+	if d := check.DiffDatasets(ds, got); d != "" {
+		return "readany(tbv1) " + d
+	}
+	return ""
+}
+
+// probeFixtures covers the codec's edge cases: sessions present and
+// absent, MAC lists of zero/one/many, fractional clocks around the MHz
+// quantisation boundary, large per-boot counters.
+func probeFixtures() []machine.Snapshot {
+	t0 := time.Date(2003, 10, 6, 8, 0, 0, 0, time.UTC)
+	return []machine.Snapshot{
+		{
+			Time: t0, ID: "lab1-m01", Lab: "lab1",
+			CPUModel: "Intel(R) Pentium(R) 4 CPU 2.80GHz", CPUGHz: 2.794,
+			RAMMB: 512, SwapMB: 768, DiskGB: 74.5, Serial: "WD-WMA111",
+			MACs: []string{"00:0d:56:aa:bb:cc"}, OS: "Windows XP",
+			BootTime: t0.Add(-3 * time.Hour), Uptime: 3 * time.Hour,
+			CPUIdle: 2*time.Hour + 59*time.Minute, MemLoadPct: 43, SwapLoadPct: 12,
+			FreeDiskGB: 31.25, PowerCycles: 412, PowerOnHours: 9001,
+			SentBytes: 123456789, RecvBytes: 987654321,
+			SessionUser: "alice", SessionStart: t0.Add(-42 * time.Minute),
+		},
+		{
+			Time: t0.Add(15 * time.Minute), ID: "lab2-m17", Lab: "lab2",
+			CPUModel: "AMD Athlon XP 1700+", CPUGHz: 1.4665,
+			RAMMB: 256, SwapMB: 0, DiskGB: 40, Serial: "",
+			MACs:     []string{"00:0d:56:aa:bb:cc", "00:11:22:33:44:55", "aa:bb:cc:dd:ee:ff"},
+			OS:       "Windows 2000",
+			BootTime: t0, Uptime: 15 * time.Minute,
+			CPUIdle: 14 * time.Minute, MemLoadPct: 0, SwapLoadPct: 0,
+			FreeDiskGB: 0.125, PowerCycles: 1, PowerOnHours: 0,
+			SentBytes: 0, RecvBytes: 42,
+		},
+		{
+			Time: t0.Add(30 * time.Minute), ID: "lab3-m02", Lab: "lab3",
+			CPUModel: "VIA C3", CPUGHz: 0.8,
+			RAMMB: 128, SwapMB: 256, DiskGB: 20.001, Serial: "S/N 0",
+			MACs: nil, OS: "Windows XP",
+			BootTime: t0.Add(-100 * 24 * time.Hour), Uptime: 100 * 24 * time.Hour,
+			CPUIdle: 99 * 24 * time.Hour, MemLoadPct: 100, SwapLoadPct: 100,
+			FreeDiskGB: 19.999, PowerCycles: 1 << 40, PowerOnHours: 1 << 41,
+			SentBytes: 1<<63 + 7, RecvBytes: 1 << 62,
+			SessionUser: "bob", SessionStart: t0.Add(30 * time.Minute),
+		},
+	}
+}
+
+// diffRender asserts legacy probe.Render and the zero-allocation
+// AppendRender (with a reused buffer) produce identical bytes.
+func diffRender() string {
+	var buf []byte
+	for _, sn := range probeFixtures() {
+		legacy := probe.Render(sn)
+		buf = probe.AppendRender(buf[:0], sn)
+		if !bytes.Equal(legacy, buf) {
+			return fmt.Sprintf("snapshot %s: Render and AppendRender differ at byte %d", sn.ID, firstByteDiff(legacy, buf))
+		}
+	}
+	return ""
+}
+
+// diffParse asserts legacy probe.Parse and a reused Parser.ParseBytes
+// decode identical snapshots from the same report.
+func diffParse() string {
+	p := probe.NewParser()
+	for _, sn := range probeFixtures() {
+		report := probe.Render(sn)
+		legacy, err1 := probe.Parse(report)
+		reused, err2 := p.ParseBytes(report)
+		if (err1 == nil) != (err2 == nil) {
+			return fmt.Sprintf("snapshot %s: Parse err=%v, Parser.ParseBytes err=%v", sn.ID, err1, err2)
+		}
+		if err1 != nil {
+			return fmt.Sprintf("snapshot %s: round-trip parse failed: %v", sn.ID, err1)
+		}
+		if d := check.FirstDiff(legacy, reused); d != "" {
+			return fmt.Sprintf("snapshot %s: %s", sn.ID, d)
+		}
+	}
+	return ""
+}
+
+func firstByteDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package validate
+
+import (
+	"testing"
+)
+
+// TestSuiteClean runs the full differential suite on a short experiment:
+// every equivalence claim in the repo must hold.
+func TestSuiteClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite runs several collection arms")
+	}
+	fails := Suite(Config{Seed: 1, Days: 3, Workers: 4})
+	for _, f := range fails {
+		t.Errorf("equivalence broken: %s", f)
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	f := Failure{Check: "trace/tbv1-roundtrip", Detail: ".Samples[3] (machine=m iter=2) .Uptime: 1s != 2s"}
+	want := "trace/tbv1-roundtrip: .Samples[3] (machine=m iter=2) .Uptime: 1s != 2s"
+	if f.String() != want {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.Days != 7 || c.Workers != 8 {
+		t.Errorf("withDefaults() = %+v", c)
+	}
+}
