@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo doctor
+.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (name → ns/op,
 # B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
 BENCHTIME ?= 1x
-BENCHJSON ?= BENCH_PR4.json
+BENCHJSON ?= BENCH_PR6.json
 
 # Fuzz smoke budget per target; raise locally for deeper runs.
 FUZZTIME ?= 10s
@@ -64,6 +64,14 @@ doctor:
 	    fi; \
 	done; \
 	echo "doctor: corrupted-fixture corpus ok"
+
+# stream-smoke is the out-of-core gate: stream-analyze a TBv1 trace
+# several times larger than an enforced soft memory limit and assert
+# peak live heap stays under the ceiling (see TestAllStreamMemoryCeiling).
+# Gating — a red run means some code path rematerialises the dataset
+# and `analyze -stream` no longer delivers constant-memory analysis.
+stream-smoke:
+	$(GO) test ./internal/analysis/ -run '^TestAllStreamMemoryCeiling$$' -v -count 1
 
 # telemetry-demo runs the live collector with the metrics endpoint and
 # span trace enabled, scrapes it mid-run, and fails if /metrics or

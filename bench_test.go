@@ -23,6 +23,7 @@
 package bench
 
 import (
+	"bytes"
 	"os"
 	"sync"
 	"testing"
@@ -38,6 +39,7 @@ import (
 	"winlab/internal/probe"
 	"winlab/internal/rng"
 	"winlab/internal/trace"
+	"winlab/internal/trace/stream"
 )
 
 var (
@@ -459,6 +461,103 @@ func BenchmarkTraceReadTB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+var (
+	tbOnce  sync.Once
+	tbBytes []byte
+)
+
+// streamTB lazily encodes the shared dataset to canonical TBv1 bytes
+// (frozen first, so the encoding is machine-contiguous) for the
+// out-of-core benchmarks.
+func streamTB(b *testing.B) []byte {
+	res := dataset(b)
+	tbOnce.Do(func() {
+		res.Dataset.Freeze()
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, res.Dataset); err != nil {
+			panic(err)
+		}
+		tbBytes = buf.Bytes()
+	})
+	return tbBytes
+}
+
+// BenchmarkTraceStreamCursor measures the chunked TBv1 cursor: full
+// decode into reused run buffers, no Dataset materialisation. Compare
+// with BenchmarkTraceReadTB (the batch decode) — same bytes, constant
+// memory.
+func BenchmarkTraceStreamCursor(b *testing.B) {
+	tb := streamTB(b)
+	b.SetBytes(int64(len(tb)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var run stream.Run
+	for i := 0; i < b.N; i++ {
+		c, err := stream.New(bytes.NewReader(tb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			ok, err := c.NextRun(&run)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n += len(run.Samples)
+		}
+		if uint64(n) != c.DeclaredSamples() {
+			b.Fatalf("decoded %d of %d samples", n, c.DeclaredSamples())
+		}
+	}
+}
+
+// BenchmarkAnalyzeAllStream measures the sequential out-of-core
+// analysis: every table and figure in one pass over the TBv1 bytes,
+// bit-identical to BenchmarkAnalyzeAll's artefacts.
+func BenchmarkAnalyzeAllStream(b *testing.B) {
+	tb := streamTB(b)
+	b.SetBytes(int64(len(tb)))
+	b.ResetTimer()
+	var r *analysis.Results
+	for i := 0; i < b.N; i++ {
+		c, err := stream.New(bytes.NewReader(tb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err = analysis.AllStream(c, analysis.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Table2.Both.UptimePct, "uptime_%")
+	b.ReportMetric(r.Equivalence.TotalRatio, "equivalence")
+}
+
+// BenchmarkAnalyzeAllStreamParallel is AllStream with machine-sharded
+// accumulators across 4 workers (counts exact, merged floats within
+// epsilon; see validate's stream/allstream-parallel arm).
+func BenchmarkAnalyzeAllStreamParallel(b *testing.B) {
+	tb := streamTB(b)
+	b.SetBytes(int64(len(tb)))
+	b.ResetTimer()
+	var r *analysis.Results
+	for i := 0; i < b.N; i++ {
+		c, err := stream.New(bytes.NewReader(tb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err = analysis.AllStream(c, analysis.Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Table2.Both.UptimePct, "uptime_%")
+	b.ReportMetric(r.Equivalence.TotalRatio, "equivalence")
 }
 
 // BenchmarkNBenchKernels measures every kernel of the NBench suite.

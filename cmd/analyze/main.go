@@ -4,6 +4,13 @@
 // Usage:
 //
 //	analyze [-csvdir dir] trace.csv
+//	analyze -stream [-workers N] trace.tb[.gz]
+//
+// -stream analyses the trace out-of-core: samples are decoded and
+// folded into single-pass accumulators without ever materialising the
+// dataset, so memory stays flat regardless of trace size. It requires
+// the TBv1 binary format (convert CSV traces with tracecat first) and
+// skips the survival-predictor section, which needs random access.
 package main
 
 import (
@@ -18,19 +25,33 @@ import (
 func main() {
 	csvDir := flag.String("csvdir", "", "export figure CSVs into this directory")
 	paper := flag.Bool("paper", false, "append the paper-vs-measured comparison table")
+	streaming := flag.Bool("stream", false, "analyse out-of-core (TBv1 traces only; constant memory)")
+	workers := flag.Int("workers", 1, "with -stream: machine-sharded analysis width (1 = exact sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: analyze [-csvdir dir] trace.csv")
+		fmt.Fprintln(os.Stderr, "usage: analyze [-csvdir dir] [-stream [-workers N]] trace.{csv,tb}[.gz]")
 		os.Exit(2)
 	}
-	d, err := trace.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyze:", err)
-		os.Exit(1)
+	var rep *core.Report
+	if *streaming {
+		var err error
+		rep, err = core.AnalyzeStream(flag.Arg(0), *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "analyze: streamed %d samples (%d catalogued machines)\n",
+			rep.Table2.Both.Samples, len(rep.Uptimes))
+	} else {
+		d, err := trace.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "analyze: %d machines, %d iterations, %d samples\n",
+			len(d.Machines), len(d.Iterations), len(d.Samples))
+		rep = core.Analyze(d)
 	}
-	fmt.Fprintf(os.Stderr, "analyze: %d machines, %d iterations, %d samples\n",
-		len(d.Machines), len(d.Iterations), len(d.Samples))
-	rep := core.Analyze(d)
 	rep.Render(os.Stdout)
 	if *paper {
 		fmt.Println()

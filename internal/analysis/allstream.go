@@ -1,0 +1,737 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"winlab/internal/stats"
+	"winlab/internal/trace"
+	"winlab/internal/trace/stream"
+)
+
+// AllStream computes the same Results as All in a single pass over a
+// TBv1 cursor, without ever materialising a Dataset: peak memory is a
+// few run buffers plus O(machines + iterations + labs) accumulator
+// state, independent of trace length. This is the out-of-core path for
+// traces that do not fit in memory (ROADMAP item 2).
+//
+// Input contract: the stream must be machine-contiguous — all of a
+// machine's samples consecutive, time-sorted within the machine — which
+// is exactly what WriteBinary produces for a frozen Dataset (All/Freeze
+// sort machine-major before writing). Non-contiguous input is detected
+// and rejected rather than silently mis-paired.
+//
+// Equivalence to All (asserted by internal/validate's stream arms):
+//
+//   - opts.Workers ≤ 1: bit-exact. Every Welford/histogram/profile
+//     accumulator receives exactly the Add sequence the in-memory
+//     functions produce, because the in-memory path freezes (sorts
+//     machine-major) first and this pass consumes the file in that same
+//     order; only the interleaving *between* independent accumulators
+//     differs, which cannot reassociate floating point.
+//   - opts.Workers > 1: machines are sharded deterministically across
+//     workers (stream.Parallel) and per-shard accumulators are merged
+//     in worker order. Counts, histograms and every integer artefact
+//     remain exact; Welford-merged means and variances may differ from
+//     the serial result in the last bits (documented epsilon).
+func AllStream(c *stream.Cursor, opts Options) (*Results, error) {
+	if opts.Threshold == 0 {
+		opts.Threshold = DefaultForgottenThreshold
+	}
+	if opts.HistCap <= 0 {
+		opts.HistCap = 96 * time.Hour
+	}
+	if opts.HistBins <= 0 {
+		opts.HistBins = 24
+	}
+	if opts.SessionAgeHours <= 0 {
+		opts.SessionAgeHours = 24
+	}
+
+	machines := c.Machines()
+	iterations := c.Iterations()
+
+	if opts.Workers <= 1 {
+		acc := newStreamAcc(c, machines, opts)
+		var run stream.Run
+		for {
+			ok, err := c.NextRun(&run)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if err := acc.addRun(&run); err != nil {
+				return nil, err
+			}
+		}
+		acc.finish()
+		return acc.finalize(machines, iterations), nil
+	}
+
+	shards := make([]*streamAcc, opts.Workers)
+	for i := range shards {
+		shards[i] = newStreamAcc(c, machines, opts)
+	}
+	err := stream.Parallel(c, opts.Workers, func(w int, run *stream.Run) error {
+		return shards[w].addRun(run)
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := shards[0]
+	acc.finish()
+	for _, sh := range shards[1:] {
+		sh.finish()
+		acc.merge(sh)
+	}
+	return acc.finalize(machines, iterations), nil
+}
+
+// machState is the per-machine carry state of the streaming pass: the
+// previous sample (interval pairing, uptime-ratio dedup, PowerCycles
+// endpoints) and the open detected session.
+type machState struct {
+	hasPrev bool
+	prev    trace.Sample // last sample seen
+	first   trace.Sample // first sample seen
+
+	sessOpen bool
+	sessBoot time.Time // boot time of the open session's first sample
+	sessLen  time.Duration
+
+	answered int // distinct iterations answered (duplicate-deduped)
+}
+
+type availCount struct{ on, free int }
+
+type eqSum struct{ occ, free float64 }
+
+type capIterSum struct {
+	ramMB  float64
+	diskGB float64
+	on     int
+}
+
+type labAcc struct {
+	samples  int
+	occupied int
+	ram      stats.Running
+	freeRAM  stats.Running
+	freeDisk stats.Running
+	cpu      stats.Running
+}
+
+// streamAcc is one shard's worth of single-pass accumulators — every
+// per-sample and per-interval aggregate behind the ten artefacts of
+// Results. Per-iteration and per-machine aggregates stay as compact
+// sums in maps and are expanded to the artefact shapes in finalize,
+// replaying the exact finalisation order of the in-memory functions.
+type streamAcc struct {
+	start, end time.Time
+	threshold  time.Duration
+	maxGap     time.Duration
+	ageMax     int
+	histCap    time.Duration
+
+	mach map[string]*machState
+	cur  string // machine of the current run, for contiguity + flush
+
+	// Catalogue-derived lookups (identical in every shard).
+	ramByID   map[string]int
+	labOf     map[string]string
+	perf      map[string]float64
+	totalPerf float64
+
+	// Table 2 (§4.2) and the reclassification counts.
+	t2no, t2with, t2both table2Acc
+	rawLogin             int
+	reclassified         int
+
+	// Figure 2: CPU idleness by session age.
+	age []stats.Running
+
+	// Figure 3: powered-on / user-free counts per iteration.
+	avail map[int]*availCount
+
+	// §5.2.1 detected sessions.
+	sessCount   int
+	sessLengths stats.Running
+	sessHist    *stats.Histogram
+	uptimeAll   float64
+	uptimeShort float64
+
+	// Figure 5 weekly profiles.
+	weekly WeeklyProfiles
+
+	// Figure 6 equivalence: perf-weighted idleness sums per iteration.
+	eq map[int]*eqSum
+
+	// Per-lab usage.
+	labs map[string]*labAcc
+
+	// Capacity (§6).
+	capRAM   stats.Running
+	capDisk  stats.Running
+	capClass map[int]*stats.Running
+	capIter  map[int]*capIterSum
+}
+
+func newStreamAcc(c *stream.Cursor, machines []trace.MachineInfo, opts Options) *streamAcc {
+	a := &streamAcc{
+		start:     c.Start(),
+		end:       c.End(),
+		threshold: opts.Threshold,
+		maxGap:    2 * c.Period(),
+		ageMax:    opts.SessionAgeHours,
+		histCap:   opts.HistCap,
+		mach:      make(map[string]*machState),
+		ramByID:   make(map[string]int, len(machines)),
+		labOf:     make(map[string]string, len(machines)),
+		perf:      make(map[string]float64, len(machines)),
+		age:       make([]stats.Running, opts.SessionAgeHours),
+		avail:     make(map[int]*availCount),
+		sessHist:  stats.NewHistogram(0, opts.HistCap.Hours(), opts.HistBins),
+		eq:        make(map[int]*eqSum),
+		labs:      make(map[string]*labAcc),
+		capClass:  make(map[int]*stats.Running),
+		capIter:   make(map[int]*capIterSum),
+	}
+	for _, m := range machines {
+		a.ramByID[m.ID] = m.RAMMB
+		a.labOf[m.ID] = m.Lab
+		p := m.PerfIndex()
+		if opts.UnweightedEquivalence {
+			p = 1
+		}
+		a.perf[m.ID] = p
+		a.totalPerf += p
+	}
+	return a
+}
+
+// addRun folds one machine run into the accumulators. Runs of the same
+// machine may arrive split (the cursor's RunLimit); a machine whose
+// runs are *not* consecutive violates the contiguity contract — its
+// intervals and sessions would be silently mis-paired — so that input
+// is rejected.
+func (a *streamAcc) addRun(run *stream.Run) error {
+	if run.Machine != a.cur {
+		if a.mach[run.Machine] != nil {
+			return fmt.Errorf("analysis: stream not machine-contiguous: %q reappears after other machines; re-encode the trace from a frozen dataset", run.Machine)
+		}
+		a.closeSession(a.mach[a.cur])
+		a.cur = run.Machine
+	}
+	m := a.mach[run.Machine]
+	if m == nil {
+		m = &machState{}
+		a.mach[run.Machine] = m
+	}
+	for i := range run.Samples {
+		a.addSample(&run.Samples[i], m)
+	}
+	return nil
+}
+
+// finish flushes the trailing machine's open detected session. Call
+// once, after the last run.
+func (a *streamAcc) finish() { a.closeSession(a.mach[a.cur]) }
+
+func sameBootTime(x, y time.Time) bool {
+	sx := trace.Sample{BootTime: x}
+	sy := trace.Sample{BootTime: y}
+	return trace.SameBoot(&sx, &sy)
+}
+
+func (a *streamAcc) addSample(s *trace.Sample, m *machState) {
+	cl := Classify(s, a.threshold)
+
+	// Interval pairing against the machine's previous sample, before the
+	// carry state advances — the streaming equivalent of
+	// Index.buildIntervals' adjacent same-boot pairs with the 2×period
+	// gap cap.
+	if m.hasPrev && trace.SameBoot(&m.prev, s) {
+		if gap := s.Time.Sub(m.prev.Time); a.maxGap <= 0 || gap <= a.maxGap {
+			a.addInterval(trace.Interval{A: &m.prev, B: s}, cl)
+		}
+	}
+
+	// Detected sessions (§5.2.1): like DetectSessions, a session
+	// continues while the sample's boot time matches the boot time of
+	// the session's *first* sample, and its length is the last sample's
+	// uptime.
+	if m.sessOpen && sameBootTime(m.sessBoot, s.BootTime) {
+		m.sessLen = s.Uptime
+	} else {
+		a.closeSession(m)
+		m.sessOpen = true
+		m.sessBoot = s.BootTime
+		m.sessLen = s.Uptime
+	}
+
+	// Uptime ratios: count distinct iterations answered (duplicate
+	// samples within one iteration count once, like UptimeRatios).
+	if !m.hasPrev || s.Iter != m.prev.Iter {
+		m.answered++
+	}
+	if !m.hasPrev {
+		m.first = *s
+	}
+	m.prev = *s
+	m.hasPrev = true
+
+	// Reclassification counts (Table 2's Reclass block).
+	if s.HasSession() {
+		a.rawLogin++
+		if cl == Forgotten {
+			a.reclassified++
+		}
+	}
+
+	// Table 2 sample-level metrics.
+	acc := &a.t2no
+	if cl.Occupied() {
+		acc = &a.t2with
+	}
+	for _, t := range [2]*table2Acc{acc, &a.t2both} {
+		t.samples++
+		t.ram.Add(float64(s.MemLoadPct))
+		t.swap.Add(float64(s.SwapLoadPct))
+		t.disk.Add(s.UsedDiskGB())
+	}
+
+	// Figure 3 per-iteration counts.
+	av := a.avail[s.Iter]
+	if av == nil {
+		av = &availCount{}
+		a.avail[s.Iter] = av
+	}
+	av.on++
+	if !cl.Occupied() {
+		av.free++
+	}
+
+	// Figure 5 sample-level profiles.
+	a.weekly.RAMLoadPct.Add(s.Time, float64(s.MemLoadPct))
+	a.weekly.SwapLoad.Add(s.Time, float64(s.SwapLoadPct))
+
+	// Per-lab usage (sample lab, like ByLab's sample loop).
+	la := a.lab(s.Lab)
+	la.samples++
+	if cl.Occupied() {
+		la.occupied++
+	}
+	la.ram.Add(float64(s.MemLoadPct))
+	if ram := a.ramByID[s.Machine]; ram > 0 {
+		la.freeRAM.Add(float64(ram) * (100 - float64(s.MemLoadPct)) / 100)
+	}
+	la.freeDisk.Add(s.FreeDiskGB)
+
+	// Capacity.
+	ram := a.ramByID[s.Machine]
+	freeMB := float64(ram) * (100 - float64(s.MemLoadPct)) / 100
+	a.capRAM.Add(freeMB)
+	a.capDisk.Add(s.FreeDiskGB)
+	cc := a.capClass[ram]
+	if cc == nil {
+		cc = &stats.Running{}
+		a.capClass[ram] = cc
+	}
+	cc.Add(freeMB)
+	ci := a.capIter[s.Iter]
+	if ci == nil {
+		ci = &capIterSum{}
+		a.capIter[s.Iter] = ci
+	}
+	ci.ramMB += freeMB
+	ci.diskGB += s.FreeDiskGB
+	ci.on++
+}
+
+func (a *streamAcc) addInterval(iv trace.Interval, cl Class) {
+	idle := iv.CPUIdlePct()
+	sent := iv.SentBps()
+	recv := iv.RecvBps()
+	s := iv.B
+
+	// Table 2 interval-level metrics, classified by the closing sample.
+	acc := &a.t2no
+	if cl.Occupied() {
+		acc = &a.t2with
+	}
+	for _, t := range [2]*table2Acc{acc, &a.t2both} {
+		t.cpuIdle.Add(idle)
+		t.sent.Add(sent)
+		t.recv.Add(recv)
+	}
+
+	// Figure 2: idleness by session age.
+	if s.HasSession() {
+		if h := int(s.SessionAge() / time.Hour); h >= 0 {
+			if h >= a.ageMax {
+				h = a.ageMax - 1
+			}
+			a.age[h].Add(idle)
+		}
+	}
+
+	// Figure 5 interval-level profiles.
+	a.weekly.CPUIdlePct.Add(s.Time, idle)
+	a.weekly.SentBps.Add(s.Time, sent)
+	a.weekly.RecvBps.Add(s.Time, recv)
+
+	// Figure 6: perf-weighted idleness, split by raw session presence.
+	if p, ok := a.perf[s.Machine]; ok {
+		es := a.eq[s.Iter]
+		if es == nil {
+			es = &eqSum{}
+			a.eq[s.Iter] = es
+		}
+		contrib := idle / 100 * p
+		if s.HasSession() {
+			es.occ += contrib
+		} else {
+			es.free += contrib
+		}
+	}
+
+	// Per-lab CPU idleness (catalogue lab, like ByLab's interval loop).
+	a.lab(a.labOf[s.Machine]).cpu.Add(idle)
+}
+
+func (a *streamAcc) lab(lb string) *labAcc {
+	l := a.labs[lb]
+	if l == nil {
+		l = &labAcc{}
+		a.labs[lb] = l
+	}
+	return l
+}
+
+// closeSession feeds a finished detected session into the §5.2.1
+// aggregates. nil-safe (the first run has no previous machine).
+func (a *streamAcc) closeSession(m *machState) {
+	if m == nil || !m.sessOpen {
+		return
+	}
+	m.sessOpen = false
+	h := m.sessLen.Hours()
+	a.sessCount++
+	a.sessLengths.Add(h)
+	a.sessHist.Add(h)
+	a.uptimeAll += h
+	if m.sessLen <= a.histCap {
+		a.uptimeShort += h
+	}
+}
+
+func mergeT2(a, b *table2Acc) {
+	a.samples += b.samples
+	a.cpuIdle = a.cpuIdle.Merge(b.cpuIdle)
+	a.ram = a.ram.Merge(b.ram)
+	a.swap = a.swap.Merge(b.swap)
+	a.disk = a.disk.Merge(b.disk)
+	a.sent = a.sent.Merge(b.sent)
+	a.recv = a.recv.Merge(b.recv)
+}
+
+// merge folds shard b into a. Shards partition machines (the parallel
+// scheduler routes every run of a machine to one worker), so the
+// per-machine states are disjoint; everything else merges by Welford /
+// histogram / integer addition. Merging in fixed worker order keeps the
+// result deterministic for a given trace and worker count.
+func (a *streamAcc) merge(b *streamAcc) {
+	for id, m := range b.mach {
+		a.mach[id] = m
+	}
+
+	mergeT2(&a.t2no, &b.t2no)
+	mergeT2(&a.t2with, &b.t2with)
+	mergeT2(&a.t2both, &b.t2both)
+	a.rawLogin += b.rawLogin
+	a.reclassified += b.reclassified
+
+	for i := range a.age {
+		a.age[i] = a.age[i].Merge(b.age[i])
+	}
+
+	for iter, c := range b.avail {
+		av := a.avail[iter]
+		if av == nil {
+			av = &availCount{}
+			a.avail[iter] = av
+		}
+		av.on += c.on
+		av.free += c.free
+	}
+
+	a.sessCount += b.sessCount
+	a.sessLengths = a.sessLengths.Merge(b.sessLengths)
+	a.sessHist.Merge(b.sessHist)
+	a.uptimeAll += b.uptimeAll
+	a.uptimeShort += b.uptimeShort
+
+	a.weekly.CPUIdlePct.Merge(&b.weekly.CPUIdlePct)
+	a.weekly.RAMLoadPct.Merge(&b.weekly.RAMLoadPct)
+	a.weekly.SwapLoad.Merge(&b.weekly.SwapLoad)
+	a.weekly.SentBps.Merge(&b.weekly.SentBps)
+	a.weekly.RecvBps.Merge(&b.weekly.RecvBps)
+
+	for iter, e := range b.eq {
+		es := a.eq[iter]
+		if es == nil {
+			es = &eqSum{}
+			a.eq[iter] = es
+		}
+		es.occ += e.occ
+		es.free += e.free
+	}
+
+	for lb, bl := range b.labs {
+		al := a.lab(lb)
+		al.samples += bl.samples
+		al.occupied += bl.occupied
+		al.ram = al.ram.Merge(bl.ram)
+		al.freeRAM = al.freeRAM.Merge(bl.freeRAM)
+		al.freeDisk = al.freeDisk.Merge(bl.freeDisk)
+		al.cpu = al.cpu.Merge(bl.cpu)
+	}
+
+	a.capRAM = a.capRAM.Merge(b.capRAM)
+	a.capDisk = a.capDisk.Merge(b.capDisk)
+	for ram, r := range b.capClass {
+		if ar := a.capClass[ram]; ar != nil {
+			merged := ar.Merge(*r)
+			*ar = merged
+		} else {
+			cp := *r
+			a.capClass[ram] = &cp
+		}
+	}
+	for iter, ci := range b.capIter {
+		ai := a.capIter[iter]
+		if ai == nil {
+			ai = &capIterSum{}
+			a.capIter[iter] = ai
+		}
+		ai.ramMB += ci.ramMB
+		ai.diskGB += ci.diskGB
+		ai.on += ci.on
+	}
+}
+
+// finalize expands the compact accumulator state into Results,
+// replaying each in-memory function's finalisation order exactly
+// (iteration-log order for per-iteration series, catalogue order for
+// uptime ratios, sorted-machine order for the SMART statistics, sorted
+// lab names).
+func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.Iteration) *Results {
+	res := &Results{}
+
+	attempts := 0
+	for _, it := range iterations {
+		attempts += it.Attempted
+	}
+
+	// Table 2.
+	res.Table2 = Table2{
+		Threshold: a.threshold,
+		Reclass: ReclassifyStats{
+			Threshold:       a.threshold,
+			RawLoginSamples: a.rawLogin,
+			Reclassified:    a.reclassified,
+		},
+		NoLogin:   a.t2no.column(attempts),
+		WithLogin: a.t2with.column(attempts),
+		Both:      a.t2both.column(attempts),
+	}
+
+	// Figure 2.
+	res.SessionAge = SessionAgeProfile{Buckets: make([]AgeBucket, a.ageMax)}
+	for h := range a.age {
+		res.SessionAge.Buckets[h] = AgeBucket{
+			Hour:       h,
+			Samples:    a.age[h].N(),
+			CPUIdlePct: a.age[h].Mean(),
+		}
+	}
+
+	// Figure 3.
+	var on, free stats.Running
+	for _, it := range iterations {
+		c := a.avail[it.Iter]
+		if c == nil {
+			c = &availCount{}
+		}
+		res.Availability.Points = append(res.Availability.Points, AvailabilityPoint{
+			Iter: it.Iter, Time: it.Start, PoweredOn: c.on, UserFree: c.free,
+		})
+		on.Add(float64(c.on))
+		free.Add(float64(c.free))
+	}
+	res.Availability.AvgPoweredOn = on.Mean()
+	res.Availability.AvgUserFree = free.Mean()
+
+	// Figure 4 (left): uptime ratios, catalogue order then ratio-sorted.
+	if len(iterations) > 0 {
+		ups := make([]MachineUptime, 0, len(machines))
+		for i := range machines {
+			answered := 0
+			if st := a.mach[machines[i].ID]; st != nil {
+				answered = st.answered
+			}
+			ratio := float64(answered) / float64(len(iterations))
+			ups = append(ups, MachineUptime{
+				Machine: machines[i].ID,
+				Ratio:   ratio,
+				Nines:   stats.Nines(ratio),
+			})
+		}
+		sort.Slice(ups, func(i, j int) bool { return ups[i].Ratio > ups[j].Ratio })
+		res.Uptimes = ups
+	}
+
+	// §5.2.1 sessions.
+	res.Sessions = SessionStats{
+		Count:   a.sessCount,
+		Mean:    time.Duration(a.sessLengths.Mean() * float64(time.Hour)),
+		StdDev:  time.Duration(a.sessLengths.StdDev() * float64(time.Hour)),
+		Hist:    a.sessHist,
+		HistCap: a.histCap,
+	}
+	if a.sessCount > 0 {
+		res.Sessions.ShortFraction = a.sessHist.InRangeFraction()
+	}
+	if a.uptimeAll > 0 {
+		res.Sessions.ShortUptimeFraction = a.uptimeShort / a.uptimeAll
+	}
+
+	// §5.2.2 power cycles, in sorted machine order like EachMachine.
+	ids := make([]string, 0, len(a.mach))
+	for id, m := range a.mach {
+		if m.hasPrev {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	var pc PowerCycleStats
+	var perMach, perCycle, lifetime stats.Running
+	for _, id := range ids {
+		m := a.mach[id]
+		first, last := &m.first, &m.prev
+		cycles := last.PowerCycles - first.PowerCycles + 1
+		if cycles < 1 {
+			cycles = 1
+		}
+		pc.TotalCycles += cycles
+		perMach.Add(float64(cycles))
+		hours := float64(last.PowerOnHours-first.PowerOnHours) + first.Uptime.Hours()
+		if hours > 0 {
+			perCycle.Add(hours / float64(cycles))
+		}
+		if last.PowerCycles > 0 {
+			lifetime.Add(float64(last.PowerOnHours) / float64(last.PowerCycles))
+		}
+	}
+	pc.AvgPerMachine = perMach.Mean()
+	pc.SDPerMachine = perMach.StdDev()
+	if days := a.end.Sub(a.start).Hours() / 24; days > 0 {
+		pc.CyclesPerDay = perMach.Mean() / days
+	}
+	pc.DetectedSessions = a.sessCount
+	if pc.DetectedSessions > 0 {
+		pc.UndetectedRatio = float64(pc.TotalCycles)/float64(pc.DetectedSessions) - 1
+	}
+	pc.UptimePerCycle = time.Duration(perCycle.Mean() * float64(time.Hour))
+	pc.UptimePerCycleSD = time.Duration(perCycle.StdDev() * float64(time.Hour))
+	pc.LifetimePerCycle = time.Duration(lifetime.Mean() * float64(time.Hour))
+	pc.LifetimePerCycleSD = time.Duration(lifetime.StdDev() * float64(time.Hour))
+	res.PowerCycles = pc
+
+	// Figure 5.
+	res.Weekly = &a.weekly
+
+	// Figure 6, iteration-log order; zero result when no machine has
+	// index metadata, like Equivalence.
+	if a.totalPerf != 0 {
+		var occ, freeEq stats.Running
+		for _, it := range iterations {
+			es := a.eq[it.Iter]
+			if es == nil {
+				es = &eqSum{}
+			}
+			o := es.occ / a.totalPerf
+			f := es.free / a.totalPerf
+			occ.Add(o)
+			freeEq.Add(f)
+			res.Equivalence.WeeklyOccupied.Add(it.Start, o)
+			res.Equivalence.WeeklyFree.Add(it.Start, f)
+			res.Equivalence.Weekly.Add(it.Start, o+f)
+		}
+		res.Equivalence.OccupiedRatio = occ.Mean()
+		res.Equivalence.FreeRatio = freeEq.Mean()
+		res.Equivalence.TotalRatio = res.Equivalence.OccupiedRatio + res.Equivalence.FreeRatio
+	}
+
+	// Labs: catalogue labs always appear (even with no samples), machine
+	// counts come from the catalogue, sorted by name like ByLab.
+	labMachines := make(map[string]map[string]bool)
+	for i := range machines {
+		m := &machines[i]
+		if labMachines[m.Lab] == nil {
+			labMachines[m.Lab] = make(map[string]bool)
+			a.lab(m.Lab) // ensure the lab appears in the output
+		}
+		labMachines[m.Lab][m.ID] = true
+	}
+	labs := make([]LabUsage, 0, len(a.labs))
+	for lb, l := range a.labs {
+		u := LabUsage{
+			Lab:                  lb,
+			Machines:             len(labMachines[lb]),
+			CPUIdlePct:           l.cpu.Mean(),
+			RAMLoadPct:           l.ram.Mean(),
+			FreeRAMMBPerMachine:  l.freeRAM.Mean(),
+			FreeDiskGBPerMachine: l.freeDisk.Mean(),
+		}
+		if att := len(iterations) * len(labMachines[lb]); att > 0 {
+			u.UptimePct = 100 * float64(l.samples) / float64(att)
+			u.OccupiedPct = 100 * float64(l.occupied) / float64(att)
+		}
+		labs = append(labs, u)
+	}
+	sort.Slice(labs, func(i, j int) bool { return labs[i].Lab < labs[j].Lab })
+	res.Labs = labs
+
+	// Capacity, iteration-log order with zero-fill like Capacity.
+	rep := CapacityReport{
+		AvgFreeRAMMBPerMachine:  a.capRAM.Mean(),
+		FreeRAMByClass:          map[int]float64{},
+		AvgFreeDiskGBPerMachine: a.capDisk.Mean(),
+	}
+	var iterRAM, iterDisk, iterOn stats.Running
+	for _, it := range iterations {
+		ci := a.capIter[it.Iter]
+		if ci == nil {
+			iterRAM.Add(0)
+			iterDisk.Add(0)
+			iterOn.Add(0)
+			continue
+		}
+		iterRAM.Add(ci.ramMB)
+		iterDisk.Add(ci.diskGB)
+		iterOn.Add(float64(ci.on))
+	}
+	rep.FleetFreeRAMGB = iterRAM.Mean() / 1024
+	rep.FleetFreeDiskTB = iterDisk.Mean() / 1024
+	rep.AvgPoweredMachines = iterOn.Mean()
+	for ram, acc := range a.capClass {
+		rep.FreeRAMByClass[ram] = acc.Mean()
+	}
+	res.Capacity = rep
+
+	return res
+}

@@ -28,6 +28,7 @@ import (
 	"winlab/internal/predictor"
 	"winlab/internal/report"
 	"winlab/internal/trace"
+	"winlab/internal/trace/stream"
 )
 
 // Config is the experiment configuration; see experiment.Config.
@@ -92,6 +93,40 @@ func AnalyzeResult(res *Result) *Report {
 	return r
 }
 
+// AnalyzeStream computes the same report out-of-core: it streams a
+// TBv1 trace file (plain or gzipped) through analysis.AllStream, so
+// peak memory is bounded by the accumulator state, not the trace size.
+// workers ≤ 1 is the exact sequential path, bit-identical to Analyze's
+// artefacts on a canonical trace; workers > 1 shards by machine (counts
+// exact, merged floats within documented epsilon).
+//
+// The survival predictor needs two full passes over a materialised
+// dataset, so Survival is nil in a streamed report and Render skips
+// that section.
+func AnalyzeStream(path string, workers int) (*Report, error) {
+	c, err := stream.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	a, err := analysis.AllStream(c, analysis.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Table2:      a.Table2,
+		SessionAge:  a.SessionAge,
+		Avail:       a.Availability,
+		Uptimes:     a.Uptimes,
+		Sessions:    a.Sessions,
+		PowerCycles: a.PowerCycles,
+		Weekly:      a.Weekly,
+		Equivalence: a.Equivalence,
+		Labs2:       a.Labs,
+		Capacity:    a.Capacity,
+	}, nil
+}
+
 // Render writes the full text report: Table 1 (when available), Table 2
 // and Figures 2–6 plus the stability analysis.
 func (r *Report) Render(w io.Writer) {
@@ -134,14 +169,16 @@ func (r *Report) Render(w io.Writer) {
 		Values: analysis.FreeMachineHeat(r.Avail),
 	}
 	heat.Render(w)
-	fmt.Fprintf(w, "\n1-hour survival predictor: base rate %.3f, Brier %.4f vs %.4f constant (skill %.1f%%)\n",
-		r.SurvivalEv.BaseRate, r.SurvivalEv.Brier, r.SurvivalEv.BaseBrier, 100*r.SurvivalEv.Skill())
-	surv := &report.Heatmap{
-		Title:  "P(machine up now still up in 1 h) by hour of week",
-		Values: hourlyBaseline(r.Survival),
-		Lo:     0.5, Hi: 1,
+	if r.Survival != nil {
+		fmt.Fprintf(w, "\n1-hour survival predictor: base rate %.3f, Brier %.4f vs %.4f constant (skill %.1f%%)\n",
+			r.SurvivalEv.BaseRate, r.SurvivalEv.Brier, r.SurvivalEv.BaseBrier, 100*r.SurvivalEv.Skill())
+		surv := &report.Heatmap{
+			Title:  "P(machine up now still up in 1 h) by hour of week",
+			Values: hourlyBaseline(r.Survival),
+			Lo:     0.5, Hi: 1,
+		}
+		surv.Render(w)
 	}
-	surv.Render(w)
 }
 
 // hourlyBaseline guards against a nil predictor (foreign minimal traces).

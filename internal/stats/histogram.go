@@ -10,10 +10,11 @@ import (
 // range are counted in the first/last bin (the paper's Figure 4 right plot
 // truncates at 96 h the same way, reporting the tail mass separately).
 type Histogram struct {
-	Lo, Hi float64
-	Counts []int64
-	under  int64 // observations below Lo
-	over   int64 // observations at or above Hi
+	Lo, Hi  float64
+	Counts  []int64
+	under   int64 // observations below Lo
+	over    int64 // observations at or above Hi
+	dropped int64 // NaN observations, skipped (see Add)
 }
 
 // NewHistogram creates a histogram with n equal-width bins over [lo, hi).
@@ -27,9 +28,15 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}
 }
 
-// Add records one observation.
+// Add records one observation. ±Inf land in the under/over tallies via
+// the ordinary range comparisons; NaN compares false against both edges
+// and would previously fall through to the bin computation, where
+// int(NaN) produces a huge negative index and a panic — it is counted
+// in Dropped instead, matching Running's skip semantics.
 func (h *Histogram) Add(x float64) {
 	switch {
+	case math.IsNaN(x):
+		h.dropped++
 	case x < h.Lo:
 		h.under++
 	case x >= h.Hi:
@@ -42,6 +49,27 @@ func (h *Histogram) Add(x float64) {
 		h.Counts[i]++
 	}
 }
+
+// Merge adds o's counts into h. The histograms must have identical
+// shape (same range, same bin count) — merging shards of a partitioned
+// stream, not resampling.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		panic("stats: merging histograms of different shape")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.dropped += o.dropped
+}
+
+// Dropped returns the number of NaN observations that were skipped.
+func (h *Histogram) Dropped() int64 { return h.dropped }
 
 // BinWidth returns the width of each bin.
 func (h *Histogram) BinWidth() float64 {

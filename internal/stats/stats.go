@@ -15,16 +15,29 @@ import (
 // Running accumulates a stream of float64 observations and reports count,
 // mean, variance and standard deviation using Welford's online algorithm,
 // which is numerically stable for long traces (583k+ samples).
+//
+// Non-finite observations (NaN, ±Inf) are skipped, not propagated: in a
+// streaming aggregate there is no way to undo a poisoned mean after the
+// fact, and a single NaN would silently corrupt the whole accumulator
+// (NaN contaminates mean, m2, min and max through every subsequent Add).
+// Skipped observations are counted and reported by Dropped so callers
+// can surface data-quality problems instead of losing them.
 type Running struct {
-	n    int64
-	mean float64
-	m2   float64
-	min  float64
-	max  float64
+	n       int64
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	dropped int64
 }
 
-// Add feeds one observation into the accumulator.
+// Add feeds one observation into the accumulator. Non-finite values are
+// counted in Dropped and otherwise ignored.
 func (r *Running) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		r.dropped++
+		return
+	}
 	if r.n == 0 {
 		r.min, r.max = x, x
 	} else {
@@ -43,8 +56,13 @@ func (r *Running) Add(x float64) {
 
 // AddN feeds the same observation n times. It is used when collapsing
 // pre-aggregated buckets into a Running without replaying raw samples.
+// Like Add, a non-finite observation is dropped (counted n times).
 func (r *Running) AddN(x float64, n int64) {
 	if n <= 0 {
+		return
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		r.dropped += n
 		return
 	}
 	other := Running{n: n, mean: x, min: x, max: x}
@@ -55,9 +73,11 @@ func (r *Running) AddN(x float64, n int64) {
 // added to a single one (Chan et al. parallel variance formula).
 func (r Running) Merge(o Running) Running {
 	if r.n == 0 {
+		o.dropped += r.dropped
 		return o
 	}
 	if o.n == 0 {
+		r.dropped += o.dropped
 		return r
 	}
 	n := r.n + o.n
@@ -65,16 +85,21 @@ func (r Running) Merge(o Running) Running {
 	mean := r.mean + d*float64(o.n)/float64(n)
 	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
 	return Running{
-		n:    n,
-		mean: mean,
-		m2:   m2,
-		min:  math.Min(r.min, o.min),
-		max:  math.Max(r.max, o.max),
+		n:       n,
+		mean:    mean,
+		m2:      m2,
+		min:     math.Min(r.min, o.min),
+		max:     math.Max(r.max, o.max),
+		dropped: r.dropped + o.dropped,
 	}
 }
 
 // N returns the number of observations.
 func (r Running) N() int64 { return r.n }
+
+// Dropped returns the number of non-finite observations that were
+// skipped instead of accumulated.
+func (r Running) Dropped() int64 { return r.dropped }
 
 // Mean returns the arithmetic mean, or 0 for an empty accumulator.
 func (r Running) Mean() float64 { return r.mean }
@@ -144,11 +169,23 @@ func StdDev(xs []float64) float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics. xs need not be sorted.
+//
+// Non-finite values are excluded before ranking, matching Running's
+// skip semantics: sort.Float64s places NaNs at arbitrary positions
+// (comparisons with NaN are false), so a single poisoned sample would
+// otherwise shift every order statistic unpredictably, and a ±Inf would
+// pin the extreme quantiles. An input with no finite values returns 0,
+// like an empty one.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			s = append(s, x)
+		}
+	}
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return quantileSorted(s, q)
 }

@@ -35,6 +35,15 @@ func (w *WeeklyProfile) Add(t time.Time, x float64) {
 	w.Slots[WeekSlot(t)].Add(x)
 }
 
+// Merge folds another profile into w slot by slot, as if every
+// observation had been added to w. Used to combine the per-shard
+// profiles of a partitioned stream.
+func (w *WeeklyProfile) Merge(o *WeeklyProfile) {
+	for i := range w.Slots {
+		w.Slots[i] = w.Slots[i].Merge(o.Slots[i])
+	}
+}
+
 // Means returns the per-slot means. Slots with no observations yield 0.
 func (w *WeeklyProfile) Means() []float64 {
 	out := make([]float64, SlotsPerWeek)

@@ -58,10 +58,29 @@ const tbVersion = 1
 
 // tbMaxString caps a single dictionary entry; tbPrealloc caps how many
 // entries any count preallocates before the stream proves they exist.
+//
+// tbPrealloc is deliberately small: the leading uvarint counts are
+// untrusted input, and a corrupt or truncated header claiming 2⁶⁰
+// samples must not be able to demand a multi-GB allocation before the
+// sticky-error decoder has seen a single payload byte. Every slice
+// therefore starts at min(count, tbPrealloc) capacity and grows
+// incrementally — each append happens only after a full entry decoded
+// successfully, so memory consumption is proportional to input actually
+// consumed (a sample costs ≥ ~17 wire bytes), never to what the header
+// promises. See TestReadBinaryAllocBomb and the committed fuzz seed.
 const (
 	tbMaxString = 1 << 20
-	tbPrealloc  = 1 << 16
+	tbPrealloc  = 1 << 12
 )
+
+// clampPrealloc bounds a slice preallocation taken from an untrusted
+// leading count.
+func clampPrealloc(n uint64) int {
+	if n > tbPrealloc {
+		return tbPrealloc
+	}
+	return int(n)
+}
 
 // tbState is the per-machine (and per-iteration) delta predictor. Writer
 // and reader evolve identical copies, so only differences hit the wire.
@@ -333,7 +352,77 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	return readBinary(bufio.NewReaderSize(r, ioBufSize))
 }
 
+// readBinary is a client of the incremental cursor: it drains every
+// sample into a Dataset. Keeping the batch reader layered on the cursor
+// makes the two differential by construction — there is exactly one
+// TBv1 decode path.
 func readBinary(br *bufio.Reader) (*Dataset, error) {
+	c, err := newBinaryCursor(br)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Start:      c.start,
+		End:        c.end,
+		Period:     c.period,
+		Machines:   c.machines,
+		Iterations: c.iterations,
+	}
+	if c.declared > 0 {
+		ds.Samples = make([]Sample, 0, clampPrealloc(c.declared))
+	}
+	var s Sample
+	for {
+		ok, err := c.Next(&s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return ds, nil
+		}
+		ds.Samples = append(ds.Samples, s)
+	}
+}
+
+// BinaryCursor decodes a TBv1 stream incrementally. The header, machine
+// catalogue and iteration log are read eagerly by the constructor (they
+// are small and every analysis needs them up front); samples are then
+// decoded one at a time by Next, so the caller's peak memory is one
+// Sample plus the string dictionary — independent of trace length.
+// ReadBinary is a client of the cursor; the out-of-core layer
+// (internal/trace/stream) adds gzip sniffing, per-machine run chunking
+// and a parallel scheduler on top.
+//
+// A cursor is single-use and not safe for concurrent use.
+type BinaryCursor struct {
+	dec        *tbReader
+	start, end time.Time
+	period     time.Duration
+	machines   []MachineInfo
+	iterations []Iteration
+
+	declared uint64 // sample count the S block header claims
+	decoded  uint64
+	done     bool
+	err      error
+
+	base   tbState
+	states map[string]*tbState
+}
+
+// NewBinaryCursor reads the TBv1 magic, header, machine and iteration
+// blocks from r and positions the cursor before the first sample. The
+// input must be an uncompressed TBv1 stream; stream.New layers gzip
+// sniffing on top for files of unknown provenance.
+func NewBinaryCursor(r io.Reader) (*BinaryCursor, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, ioBufSize)
+	}
+	return newBinaryCursor(br)
+}
+
+func newBinaryCursor(br *bufio.Reader) (*BinaryCursor, error) {
 	var head [5]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
 		if err == io.EOF {
@@ -349,15 +438,15 @@ func readBinary(br *bufio.Reader) (*Dataset, error) {
 	}
 
 	dec := &tbReader{r: br}
-	ds := &Dataset{}
+	c := &BinaryCursor{dec: dec}
 	var hdr tbState
-	ds.Start = dec.time("start time", &hdr.timeSec, &hdr.timeNs)
-	ds.End = dec.time("end time", &hdr.bootSec, &hdr.bootNs)
-	ds.Period = time.Duration(dec.varint("period"))
+	c.start = dec.time("start time", &hdr.timeSec, &hdr.timeNs)
+	c.end = dec.time("end time", &hdr.bootSec, &hdr.bootNs) // scratch predictor; header times are near-absolute
+	c.period = time.Duration(dec.varint("period"))
 
 	nM := dec.uvarint("machine count")
 	if dec.err == nil && nM > 0 { // n==0 keeps the slice nil, like the CSV reader
-		ds.Machines = make([]MachineInfo, 0, int(min(nM, tbPrealloc)))
+		c.machines = make([]MachineInfo, 0, clampPrealloc(nM))
 	}
 	for i := uint64(0); i < nM && dec.err == nil; i++ {
 		var m MachineInfo
@@ -368,15 +457,15 @@ func readBinary(br *bufio.Reader) (*Dataset, error) {
 		m.IntIndex = dec.f64("machine int index")
 		m.FPIndex = dec.f64("machine fp index")
 		if dec.err == nil {
-			ds.Machines = append(ds.Machines, m)
+			c.machines = append(c.machines, m)
 		}
 	}
 
 	nI := dec.uvarint("iteration count")
 	if dec.err == nil && nI > 0 {
-		ds.Iterations = make([]Iteration, 0, int(min(nI, tbPrealloc)))
+		c.iterations = make([]Iteration, 0, clampPrealloc(nI))
 	}
-	prev := baseState(ds.Start)
+	prev := baseState(c.start)
 	for i := uint64(0); i < nI && dec.err == nil; i++ {
 		var it Iteration
 		prev.iter += dec.varint("iteration number")
@@ -400,68 +489,109 @@ func readBinary(br *bufio.Reader) (*Dataset, error) {
 		prev.cycles += dec.varint("iteration parse errors")
 		it.ParseErrors = int(prev.cycles)
 		if dec.err == nil {
-			ds.Iterations = append(ds.Iterations, it)
+			c.iterations = append(c.iterations, it)
 		}
 	}
 
-	nS := dec.uvarint("sample count")
-	if dec.err == nil && nS > 0 {
-		ds.Samples = make([]Sample, 0, int(min(nS, tbPrealloc)))
-	}
-	base := baseState(ds.Start)
-	states := make(map[string]*tbState, len(ds.Machines))
-	for i := uint64(0); i < nS && dec.err == nil; i++ {
-		var s Sample
-		s.Machine = dec.str("sample machine")
-		if dec.err != nil {
-			break
-		}
-		st := states[s.Machine]
-		if st == nil {
-			cp := base
-			st = &cp
-			states[s.Machine] = st
-		}
-		s.Lab = dec.str("sample lab")
-		st.iter += dec.varint("sample iter")
-		s.Iter = int(st.iter)
-		s.Time = dec.time("sample time", &st.timeSec, &st.timeNs)
-		s.BootTime = dec.time("sample boot time", &st.bootSec, &st.bootNs)
-		st.uptime += dec.varint("sample uptime")
-		s.Uptime = time.Duration(st.uptime)
-		st.cpuIdle += dec.varint("sample cpu idle")
-		s.CPUIdle = time.Duration(st.cpuIdle)
-		st.mem += dec.varint("sample mem load")
-		s.MemLoadPct = int(st.mem)
-		st.swap += dec.varint("sample swap load")
-		s.SwapLoadPct = int(st.swap)
-		st.diskBits ^= dec.uvarint("sample disk gb")
-		s.DiskGB = math.Float64frombits(st.diskBits)
-		st.freeBits ^= dec.uvarint("sample free gb")
-		s.FreeDiskGB = math.Float64frombits(st.freeBits)
-		st.cycles += dec.varint("sample power cycles")
-		s.PowerCycles = st.cycles
-		st.hours += dec.varint("sample power-on hours")
-		s.PowerOnHours = st.hours
-		st.sent += uint64(dec.varint("sample sent bytes"))
-		s.SentBytes = st.sent
-		st.recv += uint64(dec.varint("sample recv bytes"))
-		s.RecvBytes = st.recv
-		s.SessionUser = dec.str("sample session user")
-		if s.SessionUser != "" {
-			s.SessionStart = dec.time("sample session start", &st.sessSec, &st.sessNs)
-		}
-		if dec.err == nil {
-			ds.Samples = append(ds.Samples, s)
-		}
-	}
+	c.declared = dec.uvarint("sample count")
 	if dec.err != nil {
 		return nil, dec.err
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("trace: tbv1: trailing data after sample block")
+	c.base = baseState(c.start)
+	c.states = make(map[string]*tbState, len(c.machines))
+	return c, nil
+}
+
+// Start returns the trace start time from the header.
+func (c *BinaryCursor) Start() time.Time { return c.start }
+
+// End returns the trace end time from the header.
+func (c *BinaryCursor) End() time.Time { return c.end }
+
+// Period returns the collection period from the header.
+func (c *BinaryCursor) Period() time.Duration { return c.period }
+
+// Machines returns the machine catalogue (decoded eagerly). The slice
+// is owned by the cursor; treat it as read-only.
+func (c *BinaryCursor) Machines() []MachineInfo { return c.machines }
+
+// Iterations returns the iteration log (decoded eagerly). The slice is
+// owned by the cursor; treat it as read-only.
+func (c *BinaryCursor) Iterations() []Iteration { return c.iterations }
+
+// DeclaredSamples returns the sample count the stream header claims.
+// It is untrusted input: the cursor never allocates proportionally to
+// it, and a well-formed stream proves it one decoded sample at a time.
+func (c *BinaryCursor) DeclaredSamples() uint64 { return c.declared }
+
+// Next decodes the next sample into *s and reports whether one was
+// produced. At a clean end of stream it verifies there is no trailing
+// data and returns (false, nil); any decode error is sticky and is
+// returned from every subsequent call.
+func (c *BinaryCursor) Next(s *Sample) (bool, error) {
+	if c.err != nil {
+		return false, c.err
 	}
-	return ds, nil
+	if c.done {
+		return false, nil
+	}
+	if c.decoded == c.declared {
+		c.done = true
+		if _, err := c.dec.r.ReadByte(); err != io.EOF {
+			c.err = fmt.Errorf("trace: tbv1: trailing data after sample block")
+			return false, c.err
+		}
+		return false, nil
+	}
+
+	dec := c.dec
+	*s = Sample{}
+	s.Machine = dec.str("sample machine")
+	if dec.err != nil {
+		c.err = dec.err
+		return false, c.err
+	}
+	st := c.states[s.Machine]
+	if st == nil {
+		cp := c.base
+		st = &cp
+		c.states[s.Machine] = st
+	}
+	s.Lab = dec.str("sample lab")
+	st.iter += dec.varint("sample iter")
+	s.Iter = int(st.iter)
+	s.Time = dec.time("sample time", &st.timeSec, &st.timeNs)
+	s.BootTime = dec.time("sample boot time", &st.bootSec, &st.bootNs)
+	st.uptime += dec.varint("sample uptime")
+	s.Uptime = time.Duration(st.uptime)
+	st.cpuIdle += dec.varint("sample cpu idle")
+	s.CPUIdle = time.Duration(st.cpuIdle)
+	st.mem += dec.varint("sample mem load")
+	s.MemLoadPct = int(st.mem)
+	st.swap += dec.varint("sample swap load")
+	s.SwapLoadPct = int(st.swap)
+	st.diskBits ^= dec.uvarint("sample disk gb")
+	s.DiskGB = math.Float64frombits(st.diskBits)
+	st.freeBits ^= dec.uvarint("sample free gb")
+	s.FreeDiskGB = math.Float64frombits(st.freeBits)
+	st.cycles += dec.varint("sample power cycles")
+	s.PowerCycles = st.cycles
+	st.hours += dec.varint("sample power-on hours")
+	s.PowerOnHours = st.hours
+	st.sent += uint64(dec.varint("sample sent bytes"))
+	s.SentBytes = st.sent
+	st.recv += uint64(dec.varint("sample recv bytes"))
+	s.RecvBytes = st.recv
+	s.SessionUser = dec.str("sample session user")
+	if s.SessionUser != "" {
+		s.SessionStart = dec.time("sample session start", &st.sessSec, &st.sessNs)
+	}
+	if dec.err != nil {
+		c.err = dec.err
+		return false, c.err
+	}
+	c.decoded++
+	return true, nil
 }
 
 // gzipMagic is the two-byte gzip member header (RFC 1952). ReadAny

@@ -138,28 +138,42 @@ func WriteFileFormat(path string, d *Dataset, format Format) error {
 	if err != nil {
 		return err
 	}
-	var w io.Writer = f
+	err = encodeStream(f, d, format, gzipPath(path))
+	// The file is closed exactly once on every branch. First error wins:
+	// a Close failure after a failed encode must not mask the encode
+	// error, and a clean encode followed by a failing Close must not
+	// report success (the kernel may only surface ENOSPC here).
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// encodeStream writes d to w in the requested format, optionally
+// wrapped in gzip. Every sink error reaches the caller: the codecs'
+// buffered flushes report plain write errors, and the gzip Close —
+// which flushes the compressor's final block, so it can fail even when
+// every codec write "succeeded" into the compressor's buffer — is
+// checked on the success and error paths alike (previously the gzip
+// writer leaked un-Closed when the codec failed).
+func encodeStream(w io.Writer, d *Dataset, format Format, gzipped bool) error {
 	var gz *gzip.Writer
-	if gzipPath(path) {
-		gz = gzip.NewWriter(f)
+	if gzipped {
+		gz = gzip.NewWriter(w)
 		w = gz
 	}
+	var err error
 	if format == FormatTB {
 		err = WriteBinary(w, d)
 	} else {
 		err = Write(w, d)
 	}
-	if err != nil {
-		f.Close()
-		return err
-	}
 	if gz != nil {
-		if err := gz.Close(); err != nil {
-			f.Close()
-			return err
+		if cerr := gz.Close(); err == nil {
+			err = cerr
 		}
 	}
-	return f.Close()
+	return err
 }
 
 func sampleRow(s *Sample) []string {

@@ -20,6 +20,11 @@
 //     AppendRender/Parser.ParseBytes pair, byte- and field-identical;
 //   - analysis.All with Workers=1 (the exact serial path) vs a parallel
 //     pool, bit-identical across all ten artefacts;
+//   - the out-of-core path (PR 6): the stream cursor reproducing
+//     ReadBinary sample for sample, sequential analysis.AllStream
+//     bit-identical to analysis.All, and the sharded parallel
+//     AllStream within a documented relative tolerance (counts exact,
+//     merged floats ≤ streamTol);
 //   - and, finally, the invariant checker itself over the collected
 //     dataset — a differential suite is pointless if both arms agree on
 //     corrupt data.
@@ -36,6 +41,7 @@ import (
 	"winlab/internal/probe"
 	"winlab/internal/trace"
 	"winlab/internal/trace/check"
+	"winlab/internal/trace/stream"
 )
 
 // Failure is one broken equivalence claim: which check, and the first
@@ -109,10 +115,88 @@ func Suite(cfg Config) []Failure {
 	rN := analysis.All(serial.Dataset, analysis.Options{Workers: cfg.Workers})
 	add("analysis/serial-vs-parallel", check.FirstDiff(r1, rN))
 
+	// Streaming arms. analysis.All froze the dataset above, so a TBv1
+	// encoding taken now is canonical (machine-contiguous) — the order
+	// both the cursor differential and AllStream's bit-exactness
+	// guarantee are stated against.
+	var tb bytes.Buffer
+	if err := trace.WriteBinary(&tb, serial.Dataset); err != nil {
+		add("stream/encode", err.Error())
+	} else {
+		add("stream/cursor-vs-readbinary", diffCursor(serial.Dataset, tb.Bytes()))
+		add("stream/allstream-vs-all", diffAllStream(r1, tb.Bytes(), 1))
+		add("stream/allstream-parallel", diffAllStreamApprox(r1, tb.Bytes(), cfg.Workers))
+	}
+
 	if r := check.Check(serial.Dataset, check.Options{}); !r.OK() {
 		add("check/invariants", r.Err().Error())
 	}
 	return fails
+}
+
+// diffCursor drains a stream cursor over tb, rebuilds a Dataset from
+// the runs, and diffs it against the in-memory reference — the
+// "streaming decode ≡ batch decode" claim.
+func diffCursor(want *trace.Dataset, tb []byte) string {
+	c, err := stream.New(bytes.NewReader(tb))
+	if err != nil {
+		return "open: " + err.Error()
+	}
+	got := &trace.Dataset{
+		Start:      c.Start(),
+		End:        c.End(),
+		Period:     c.Period(),
+		Machines:   c.Machines(),
+		Iterations: c.Iterations(),
+	}
+	var run stream.Run
+	for {
+		ok, err := c.NextRun(&run)
+		if err != nil {
+			return "decode: " + err.Error()
+		}
+		if !ok {
+			break
+		}
+		got.Samples = append(got.Samples, run.Samples...)
+	}
+	return check.DiffDatasets(want, got)
+}
+
+// diffAllStream asserts the sequential streaming analysis is
+// bit-identical to the in-memory reference across all artefacts.
+func diffAllStream(want *analysis.Results, tb []byte, workers int) string {
+	c, err := stream.New(bytes.NewReader(tb))
+	if err != nil {
+		return "open: " + err.Error()
+	}
+	got, err := analysis.AllStream(c, analysis.Options{Workers: workers})
+	if err != nil {
+		return "allstream: " + err.Error()
+	}
+	return check.FirstDiff(want, got)
+}
+
+// streamTol is the relative tolerance for the parallel streaming arm:
+// sharded Welford accumulators merge in a different association order
+// than one serial pass, so float artefacts may differ in the last few
+// bits. Integer artefacts have no such latitude and are checked
+// exactly by diffAllStreamApprox.
+const streamTol = 1e-9
+
+// diffAllStreamApprox runs the parallel streaming analysis and checks
+// it against the serial reference: counts exact, floats within
+// streamTol relative error.
+func diffAllStreamApprox(want *analysis.Results, tb []byte, workers int) string {
+	c, err := stream.New(bytes.NewReader(tb))
+	if err != nil {
+		return "open: " + err.Error()
+	}
+	got, err := analysis.AllStream(c, analysis.Options{Workers: workers})
+	if err != nil {
+		return "allstream: " + err.Error()
+	}
+	return check.FirstDiffApprox(want, got, streamTol)
 }
 
 // Run executes one serial collection arm for cfg — the reference run
