@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke
+.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (name → ns/op,
 # B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
 BENCHTIME ?= 1x
-BENCHJSON ?= BENCH_PR6.json
+BENCHJSON ?= BENCH_PR7.json
 
 # Fuzz smoke budget per target; raise locally for deeper runs.
 FUZZTIME ?= 10s
@@ -64,6 +64,21 @@ doctor:
 	    fi; \
 	done; \
 	echo "doctor: corrupted-fixture corpus ok"
+
+# Anomaly-detection precision/recall knobs: which sim seeds the labeled
+# fault-injection scenarios replay over and how many simulated days per
+# seed (≥ 12 so the seasonal availability baselines get a clean first
+# week before the week-2 injection windows).
+ANOMALYSEEDS ?= 1,2,3
+ANOMALYDAYS ?= 12
+
+# anomaly is the detection-quality gate: replay the labeled injection
+# scenarios (collapses, reboot storms, SMART jumps, stuck sensors, usage
+# drift) over $(ANOMALYSEEDS) and score the streaming detectors' events
+# against the schedule. Gating — red means a detector dropped below the
+# precision/recall floors (0.90 / 0.80 per kind, aggregated over seeds).
+anomaly:
+	$(GO) run ./tools/anomalybench -seeds $(ANOMALYSEEDS) -days $(ANOMALYDAYS)
 
 # stream-smoke is the out-of-core gate: stream-analyze a TBv1 trace
 # several times larger than an enforced soft memory limit and assert

@@ -14,10 +14,13 @@
 //
 // Observability: -metrics-addr serves live telemetry over HTTP while the
 // collection runs — Prometheus text exposition on /metrics, a JSON
-// snapshot on /vars, recent probe spans on /spans, /healthz, and the
-// net/http/pprof endpoints under /debug/pprof/. -trace-out streams every
-// probe span (machine, iteration, attempt, latency, outcome) to a JSONL
-// file for offline analysis.
+// snapshot on /vars, recent probe spans on /spans, recent anomaly events
+// on /events, /healthz, and the net/http/pprof endpoints under
+// /debug/pprof/. -trace-out streams every probe span (machine,
+// iteration, attempt, latency, outcome) to a JSONL file for offline
+// analysis; -events-out does the same for anomaly events. The streaming
+// anomaly detectors tap the sink's commit path whenever any of
+// -metrics-addr or -events-out is set.
 //
 // Usage:
 //
@@ -25,6 +28,7 @@
 //	     [-workers 1] [-retries 0] [-probe-timeout 0] [-failp 0]
 //	     [-breaker-k 0] [-breaker-every 4]
 //	     [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
+//	     [-events-out events.jsonl]
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"time"
 
 	"winlab/internal/analysis"
+	"winlab/internal/anomaly"
 	"winlab/internal/behavior"
 	"winlab/internal/core"
 	"winlab/internal/ddc"
@@ -80,26 +85,27 @@ func (wf *warpedFleet) Snapshot(id string, _ time.Time) (machine.Snapshot, bool)
 
 func main() {
 	var (
-		nMach    = flag.Int("machines", 8, "number of simulated machines (one lab)")
-		iters    = flag.Int("iters", 20, "collector iterations")
-		period   = flag.Duration("period", 100*time.Millisecond, "wall-clock collection period")
-		accel    = flag.Float64("accel", 9000, "simulated seconds per wall second")
-		seed     = flag.Int64("seed", 1, "seed")
-		workers  = flag.Int("workers", 1, "concurrent probes per iteration")
-		retries  = flag.Int("retries", 0, "extra probe attempts per machine per iteration")
-		ptimeout = flag.Duration("probe-timeout", 0, "per-probe deadline (0 = executor default)")
-		failp    = flag.Float64("failp", 0, "injected transient probe-failure probability")
-		breakerK = flag.Int("breaker-k", 0, "consecutive failures that open the circuit breaker (0 = off)")
-		breakerN = flag.Int("breaker-every", 4, "open-breaker probe cadence in iterations")
-		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
-		traceOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
+		nMach     = flag.Int("machines", 8, "number of simulated machines (one lab)")
+		iters     = flag.Int("iters", 20, "collector iterations")
+		period    = flag.Duration("period", 100*time.Millisecond, "wall-clock collection period")
+		accel     = flag.Float64("accel", 9000, "simulated seconds per wall second")
+		seed      = flag.Int64("seed", 1, "seed")
+		workers   = flag.Int("workers", 1, "concurrent probes per iteration")
+		retries   = flag.Int("retries", 0, "extra probe attempts per machine per iteration")
+		ptimeout  = flag.Duration("probe-timeout", 0, "per-probe deadline (0 = executor default)")
+		failp     = flag.Float64("failp", 0, "injected transient probe-failure probability")
+		breakerK  = flag.Int("breaker-k", 0, "consecutive failures that open the circuit breaker (0 = off)")
+		breakerN  = flag.Int("breaker-every", 4, "open-breaker probe cadence in iterations")
+		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /events, /healthz, /debug/pprof/) on this address")
+		traceOut  = flag.String("trace-out", "", "stream probe spans to this JSONL file")
+		eventsOut = flag.String("events-out", "", "stream anomaly events to this JSONL file")
 	)
 	flag.Parse()
 
 	// Observability: one registry feeds the collector, the TCP transport,
 	// the agents and the sink; -metrics-addr exposes it live.
 	var reg *telemetry.Registry
-	if *metrics != "" || *traceOut != "" {
+	if *metrics != "" || *traceOut != "" || *eventsOut != "" {
 		reg = telemetry.NewRegistry()
 	}
 	if *traceOut != "" {
@@ -122,14 +128,40 @@ func main() {
 			}
 		}()
 	}
+	// The anomaly detectors ride along whenever something can observe
+	// them: the /events endpoint, the JSONL stream, or /metrics counters.
+	var det *anomaly.Detectors
+	if reg != nil {
+		det = anomaly.New(anomaly.DefaultConfig(), reg)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddcd:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		det.Ring().SetWriter(bw)
+		defer func() {
+			if err := bw.Flush(); err == nil {
+				err = f.Close()
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "ddcd: %d anomaly events written to %s\n", det.Ring().Total(), *eventsOut)
+				}
+			}
+			if werr := det.Ring().WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "ddcd: event stream error:", werr)
+			}
+		}()
+	}
 	if *metrics != "" {
-		srv, err := httpx.Serve(*metrics, reg)
+		srv, err := httpx.ServeEvents(*metrics, reg, det.Ring())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddcd:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "ddcd: telemetry on %s/metrics (also /vars, /spans, /healthz, /debug/pprof/)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "ddcd: telemetry on %s/metrics (also /vars, /spans, /events, /healthz, /debug/pprof/)\n", srv.URL())
 	}
 
 	specs := []lab.Spec{{
@@ -178,6 +210,10 @@ func main() {
 	simPeriod := time.Duration(float64(*period) * *accel)
 	simSpan := time.Duration(*iters) * simPeriod
 	sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos).WithTelemetry(reg)
+	if det != nil {
+		det.SetMachines(infos)
+		sink.Tap(det.Sample, det.Iteration)
+	}
 
 	// Optional fault injection between the coordinator and the TCP path,
 	// so the retry/breaker machinery can be demonstrated deterministically.

@@ -9,15 +9,17 @@
 // of one lucky seed.
 //
 // Observability: -metrics-addr serves the collector's live telemetry over
-// HTTP during the run (Prometheus /metrics, JSON /vars, /spans, /healthz,
-// /debug/pprof/) — the 77-day experiment compresses into ~15 s of wall
-// time, so scrape fast or raise -days. -trace-out streams every probe
-// span to a JSONL file.
+// HTTP during the run (Prometheus /metrics, JSON /vars, /spans, /events,
+// /healthz, /debug/pprof/) — the 77-day experiment compresses into ~15 s
+// of wall time, so scrape fast or raise -days. -trace-out streams every
+// probe span to a JSONL file; -events-out streams the online anomaly
+// detectors' events the same way. The detectors tap the sink's commit
+// path whenever -metrics-addr or -events-out is set.
 //
 // Usage:
 //
 //	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
-//	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
+//	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl] [-events-out events.jsonl]
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"winlab/internal/analysis"
+	"winlab/internal/anomaly"
 	"winlab/internal/core"
 	"winlab/internal/report"
 	"winlab/internal/stats"
@@ -86,17 +89,18 @@ func replicate(cfg core.Config, n int) error {
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "experiment seed (full determinism)")
-		days     = flag.Int("days", 77, "experiment length in days")
-		period   = flag.Duration("period", 15*time.Minute, "sampling period")
-		traceOut = flag.String("trace", "", "write the collected trace to this file")
-		csvDir   = flag.String("csvdir", "", "export figure CSVs into this directory")
-		quiet    = flag.Bool("quiet", false, "suppress the text report")
-		reps     = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
-		traceFmt = flag.String("trace-format", "auto", "trace file format: auto (by extension), csv, or tbv1 (binary)")
-		workers  = flag.Int("workers", 0, "probe render/parse workers per collector iteration (<=1: sequential; the collected trace is identical either way)")
-		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /healthz, /debug/pprof/) on this address")
-		spansOut = flag.String("trace-out", "", "stream probe spans to this JSONL file")
+		seed      = flag.Int64("seed", 1, "experiment seed (full determinism)")
+		days      = flag.Int("days", 77, "experiment length in days")
+		period    = flag.Duration("period", 15*time.Minute, "sampling period")
+		traceOut  = flag.String("trace", "", "write the collected trace to this file")
+		csvDir    = flag.String("csvdir", "", "export figure CSVs into this directory")
+		quiet     = flag.Bool("quiet", false, "suppress the text report")
+		reps      = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
+		traceFmt  = flag.String("trace-format", "auto", "trace file format: auto (by extension), csv, or tbv1 (binary)")
+		workers   = flag.Int("workers", 0, "probe render/parse workers per collector iteration (<=1: sequential; the collected trace is identical either way)")
+		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /events, /healthz, /debug/pprof/) on this address")
+		spansOut  = flag.String("trace-out", "", "stream probe spans to this JSONL file")
+		eventsOut = flag.String("events-out", "", "stream anomaly events to this JSONL file")
 	)
 	flag.Parse()
 
@@ -105,8 +109,9 @@ func main() {
 	cfg.Period = *period
 	cfg.Workers = *workers
 
-	if *metrics != "" || *spansOut != "" {
+	if *metrics != "" || *spansOut != "" || *eventsOut != "" {
 		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Detect = anomaly.New(anomaly.DefaultConfig(), cfg.Telemetry)
 	}
 	if *spansOut != "" {
 		f, err := os.Create(*spansOut)
@@ -125,14 +130,31 @@ func main() {
 			}
 		}()
 	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		cfg.Detect.Ring().SetWriter(bw)
+		defer func() {
+			if err := bw.Flush(); err == nil && f.Close() == nil {
+				fmt.Fprintf(os.Stderr, "labmon: %d anomaly events written to %s\n", cfg.Detect.Ring().Total(), *eventsOut)
+			}
+			if werr := cfg.Detect.Ring().WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "labmon: event stream error:", werr)
+			}
+		}()
+	}
 	if *metrics != "" {
-		srv, err := httpx.Serve(*metrics, cfg.Telemetry)
+		srv, err := httpx.ServeEvents(*metrics, cfg.Telemetry, cfg.Detect.Ring())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "labmon:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "labmon: telemetry on %s/metrics (also /vars, /spans, /healthz, /debug/pprof/)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "labmon: telemetry on %s/metrics (also /vars, /spans, /events, /healthz, /debug/pprof/)\n", srv.URL())
 	}
 
 	if *reps > 0 {

@@ -1,0 +1,66 @@
+package anomaly
+
+import "testing"
+
+// TestScoreMatching pins the label-matching semantics: kind must agree,
+// iteration windows overlap within slack, and entity attribution follows
+// the machine/lab scoping rules (a machine-scoped event matches a
+// lab-wide label; a lab-scoped event matches machine-scoped labels of
+// the same lab — detectors may legitimately escalate).
+func TestScoreMatching(t *testing.T) {
+	labels := []Label{
+		{Kind: KindRebootStorm, Lab: "L01", FirstIter: 100, LastIter: 110},
+		{Kind: KindRebootStorm, Lab: "L02", Machines: []string{"L02-M01"}, FirstIter: 200, LastIter: 210},
+		{Kind: KindUsageDrift, Lab: "L03", Machines: []string{"L03-M05"}, FirstIter: 300, LastIter: 340},
+	}
+	events := []Event{
+		// Hits.
+		{Kind: KindRebootStorm, Lab: "L01", FirstIter: 104, LastIter: 108},                     // lab-scoped on lab-wide label
+		{Kind: KindRebootStorm, Machine: "L01-M03", Lab: "L01", FirstIter: 112, LastIter: 113}, // within slack past the window
+		{Kind: KindRebootStorm, Lab: "L02", FirstIter: 201, LastIter: 205},                     // lab-scoped on machine-scoped label
+		{Kind: KindUsageDrift, Machine: "L03-M05", Lab: "L03", FirstIter: 310, LastIter: 314},  // exact machine
+		// Misses.
+		{Kind: KindUsageDrift, Machine: "L03-M09", Lab: "L03", FirstIter: 310, LastIter: 314}, // wrong machine
+		{Kind: KindRebootStorm, Lab: "L01", FirstIter: 130, LastIter: 131},                    // outside window+slack
+		{Kind: KindSensorStaleness, Lab: "L01", FirstIter: 104, LastIter: 108},                // wrong kind (and no label for it)
+	}
+	scores := Score(events, labels, 8)
+	byKind := map[Kind]KindScore{}
+	for _, s := range scores {
+		byKind[s.Kind] = s
+	}
+
+	storm := byKind[KindRebootStorm]
+	if storm.Events != 4 || storm.MatchedEvents != 3 {
+		t.Errorf("storm events %d matched %d, want 4/3", storm.Events, storm.MatchedEvents)
+	}
+	if storm.Labels != 2 || storm.HitLabels != 2 {
+		t.Errorf("storm labels %d hit %d, want 2/2", storm.Labels, storm.HitLabels)
+	}
+	drift := byKind[KindUsageDrift]
+	if drift.Precision() != 0.5 || drift.Recall() != 1 {
+		t.Errorf("drift P/R = %v/%v, want 0.5/1", drift.Precision(), drift.Recall())
+	}
+	stale := byKind[KindSensorStaleness]
+	if stale.Precision() != 0 || stale.Recall() != 1 {
+		t.Errorf("unlabeled-kind P/R = %v/%v, want 0 precision (pure FP), vacuous recall 1",
+			stale.Precision(), stale.Recall())
+	}
+	// A kind with neither events nor labels is vacuously perfect.
+	collapse := byKind[KindAvailabilityCollapse]
+	if collapse.Precision() != 1 || collapse.Recall() != 1 {
+		t.Errorf("idle-kind P/R = %v/%v, want 1/1", collapse.Precision(), collapse.Recall())
+	}
+
+	merged := MergeScores(scores, scores)
+	for _, m := range merged {
+		single := byKind[m.Kind]
+		if m.Events != 2*single.Events || m.Labels != 2*single.Labels {
+			t.Errorf("%s merge doubled nothing: %+v vs %+v", m.Kind, m, single)
+		}
+		if m.Precision() != single.Precision() || m.Recall() != single.Recall() {
+			t.Errorf("%s merge changed rates: %v/%v vs %v/%v",
+				m.Kind, m.Precision(), m.Recall(), single.Precision(), single.Recall())
+		}
+	}
+}

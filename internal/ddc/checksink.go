@@ -28,6 +28,7 @@ import (
 type SinkCheck struct {
 	sink       *DatasetSink
 	stream     *check.Stream
+	detach     func()             // removes this checker's tap from the sink chain
 	checked    *telemetry.Counter // nil-safe when uninstrumented
 	violations *telemetry.Counter
 }
@@ -43,30 +44,28 @@ func AttachCheck(s *DatasetSink, opts check.Options, reg *telemetry.Registry) *S
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	start, end, period := s.d.Start, s.d.End, s.d.Period
+	s.mu.Unlock()
 	sc := &SinkCheck{
 		sink:   s,
-		stream: check.NewStream(s.d.Start, s.d.End, s.d.Period, opts),
+		stream: check.NewStream(start, end, period, opts),
 	}
 	if reg != nil {
 		sc.checked = reg.Counter(MetricSinkChecked)
 		sc.violations = reg.Counter(MetricSinkViolations)
 	}
-	s.onSample = sc.sample
-	s.onIter = sc.iteration
+	sc.detach = s.Tap(sc.sample, sc.iteration)
 	return sc
 }
 
-// Detach unhooks the checker from its sink; the accumulated report
-// remains readable. Safe on nil.
+// Detach unhooks the checker's tap from its sink; other taps on the same
+// sink are unaffected and the accumulated report remains readable. Safe
+// on nil and idempotent.
 func (c *SinkCheck) Detach() {
 	if c == nil {
 		return
 	}
-	c.sink.mu.Lock()
-	defer c.sink.mu.Unlock()
-	c.sink.onSample = nil
-	c.sink.onIter = nil
+	c.detach()
 }
 
 // sample observes one committed sample; called under the sink lock.

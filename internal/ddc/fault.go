@@ -33,6 +33,12 @@ type FaultExecutor struct {
 	// DownMachines are hard-down: every probe fails with ErrUnreachable.
 	// This is the breaker's target scenario.
 	DownMachines map[string]bool
+	// DownFn, when set, is consulted in addition to DownMachines on every
+	// attempt — the hook for *scheduled* unreachability, where the down
+	// set changes over (simulated) time: injected availability collapses
+	// close over the experiment clock and flip whole labs here. Called
+	// under the executor's mutex; keep it fast and non-reentrant.
+	DownFn func(machineID string) bool
 	// Seed seeds the injection stream.
 	Seed int64
 
@@ -65,7 +71,7 @@ func (f *FaultExecutor) decide(machineID string) (transient bool, delay time.Dur
 		f.src = rng.Derive(f.Seed, "ddc-fault")
 	}
 	f.stats.Calls++
-	if f.DownMachines[machineID] {
+	if f.DownMachines[machineID] || (f.DownFn != nil && f.DownFn(machineID)) {
 		f.stats.DownDenied++
 		return false, 0, true
 	}

@@ -32,12 +32,47 @@ type DatasetSink struct {
 
 	tel sinkTelemetry
 
-	// onSample / onIter, when non-nil, observe every committed sample and
-	// iteration record under the sink lock — the attachment point for the
-	// streaming invariant checker (AttachCheck). Nil (the default) keeps
-	// the commit path branch-cheap and allocation-free.
-	onSample func(*trace.Sample)
-	onIter   func(trace.Iteration)
+	// taps observe every committed sample and iteration record under the
+	// sink lock, in attachment order — the multiplexing point for the
+	// streaming invariant checker (AttachCheck) and the anomaly detectors
+	// (anomaly.Detectors via Tap). Empty (the default) keeps the commit
+	// path branch-cheap and allocation-free: ranging an empty slice costs
+	// nothing and commits never allocate on behalf of taps.
+	taps []*sinkTap
+}
+
+// sinkTap is one attached observer pair. Either func may be nil.
+type sinkTap struct {
+	sample func(*trace.Sample)
+	iter   func(trace.Iteration)
+}
+
+// Tap attaches an observer to the sink's commit path: onSample sees
+// every committed sample (pointer valid only during the call) and onIter
+// every booked iteration record, both invoked under the sink lock in
+// attachment order. Either func may be nil. The returned detach func
+// removes exactly this tap (idempotent); remaining taps keep their
+// relative order. Attach before collection starts — taps want to see
+// every commit from the first iteration on. Safe on a nil sink (returns
+// a no-op detach).
+func (s *DatasetSink) Tap(onSample func(*trace.Sample), onIter func(trace.Iteration)) (detach func()) {
+	if s == nil {
+		return func() {}
+	}
+	t := &sinkTap{sample: onSample, iter: onIter}
+	s.mu.Lock()
+	s.taps = append(s.taps, t)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, tt := range s.taps {
+			if tt == t {
+				s.taps = append(s.taps[:i], s.taps[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // NewDatasetSink creates a sink collecting into a dataset with the given
@@ -109,8 +144,10 @@ func (s *DatasetSink) commit(iter int, machineID string, sn machine.Snapshot, pe
 	}
 	s.d.Samples = append(s.d.Samples, trace.FromSnapshot(iter, sn))
 	s.tel.samples.Inc()
-	if s.onSample != nil {
-		s.onSample(&s.d.Samples[len(s.d.Samples)-1])
+	for _, t := range s.taps {
+		if t.sample != nil {
+			t.sample(&s.d.Samples[len(s.d.Samples)-1])
+		}
 	}
 }
 
@@ -130,8 +167,10 @@ func (s *DatasetSink) OnIteration(info IterationInfo) {
 	}
 	s.d.Iterations = append(s.d.Iterations, it)
 	s.tel.iterations.Inc()
-	if s.onIter != nil {
-		s.onIter(it)
+	for _, t := range s.taps {
+		if t.iter != nil {
+			t.iter(it)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"winlab/internal/anomaly"
+	"winlab/internal/lab"
+	"winlab/internal/telemetry"
+	"winlab/internal/telemetry/httpx"
+)
+
+func httpGet(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body), resp
+}
+
+// TestDetectEndToEndSurfacesAgree is the acceptance test for the event
+// plumbing: a small fault-injected run with the detectors tapped in must
+// surface every detection identically on all three paths — the JSONL
+// stream, the in-memory ring behind /events, and the telemetry counters
+// behind /metrics. Any disagreement means an emit path skipped a sink.
+func TestDetectEndToEndSurfacesAgree(t *testing.T) {
+	spec := func(name string) lab.Spec {
+		return lab.Spec{
+			Name: name, Machines: 8, CPUModel: "Test", CPUGHz: 1,
+			RAMMB: 256, DiskGB: 40, IntIndex: 20, FPIndex: 20, BaseImgGB: 10,
+		}
+	}
+	cfg := Default(21)
+	cfg.Days = 4
+	cfg.OutageFraction = 0
+	cfg.Labs = []lab.Spec{spec("E1"), spec("E2")}
+
+	at := func(day, hour int) time.Time {
+		return cfg.Start.AddDate(0, 0, day).Add(time.Duration(hour) * time.Hour)
+	}
+	// Wednesday open hours: agents of E1 freeze for a morning, E2 reboots
+	// in a loop — both reliably detectable inside a 4-day run (collapse
+	// and drift need longer baselines and stay quiet here).
+	cfg.Inject = []InjectedAnomaly{
+		{Kind: anomaly.KindSensorStaleness, Lab: "E1",
+			Machines: []string{"E1-M01", "E1-M02", "E1-M03", "E1-M04"},
+			Start:    at(2, 10), End: at(2, 14)},
+		{Kind: anomaly.KindRebootStorm, Lab: "E2", Start: at(2, 10), End: at(2, 12)},
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	cfg.Detect = anomaly.New(anomaly.DefaultConfig(), reg)
+	ring := cfg.Detect.Ring()
+	var jsonl bytes.Buffer
+	ring.SetWriter(&jsonl)
+
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	total := ring.Total()
+	if total == 0 {
+		t.Fatal("injected faults produced no events")
+	}
+	if total > anomaly.DefaultRingCapacity {
+		t.Fatalf("%d events overflow the ring; shrink the scenario so all surfaces stay comparable", total)
+	}
+	snap := ring.Snapshot()
+	kinds := map[anomaly.Kind]int{}
+	for _, e := range snap {
+		kinds[e.Kind]++
+	}
+	if kinds[anomaly.KindSensorStaleness] == 0 || kinds[anomaly.KindRebootStorm] == 0 {
+		t.Errorf("missing detections for an injected kind: %v", kinds)
+	}
+
+	// Surface 1: the JSONL stream — one line per event, byte-identical to
+	// encoding/json of the ring's copy.
+	lines := strings.Split(strings.TrimSuffix(jsonl.String(), "\n"), "\n")
+	if uint64(len(lines)) != total || uint64(len(snap)) != total {
+		t.Fatalf("stream has %d lines, ring holds %d, total %d", len(lines), len(snap), total)
+	}
+	for i, e := range snap {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines[i] != string(want) {
+			t.Errorf("stream line %d = %s, want %s", i, lines[i], want)
+		}
+	}
+	if err := ring.WriteErr(); err != nil {
+		t.Errorf("WriteErr = %v", err)
+	}
+
+	// Surface 2: the telemetry counters — aggregate and per-kind sum.
+	if got := reg.Counter(anomaly.MetricEvents).Value(); uint64(got) != total {
+		t.Errorf("%s = %d, want %d", anomaly.MetricEvents, got, total)
+	}
+	var perKind int64
+	for _, k := range anomaly.Kinds() {
+		n := reg.Counter(anomaly.MetricEventsFor(k)).Value()
+		perKind += n
+		if int(n) != kinds[k] {
+			t.Errorf("%s = %d, ring has %d %s events", anomaly.MetricEventsFor(k), n, kinds[k], k)
+		}
+	}
+	if uint64(perKind) != total {
+		t.Errorf("per-kind counters sum to %d, want %d", perKind, total)
+	}
+
+	// Surface 3: the HTTP scrape — /events byte-identical to the ring,
+	// /metrics carrying the exact counter.
+	srv, err := httpx.ServeEvents("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, _ := httpGet(t, srv.URL()+"/events")
+	if want := string(ring.AppendJSON(nil, 0)) + "\n"; body != want {
+		t.Errorf("/events scrape diverges from the ring:\n got %s\nwant %s", body, want)
+	}
+	var scraped []anomaly.Event
+	if err := json.Unmarshal([]byte(body), &scraped); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if uint64(len(scraped)) != total {
+		t.Errorf("/events parsed to %d events, want %d", len(scraped), total)
+	}
+	metrics, _ := httpGet(t, srv.URL()+"/metrics")
+	if want := fmt.Sprintf("%s %d", anomaly.MetricEvents, total); !strings.Contains(metrics, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"winlab/internal/anomaly"
 	"winlab/internal/behavior"
 	"winlab/internal/ddc"
 	"winlab/internal/lab"
@@ -48,6 +49,23 @@ type Config struct {
 	// a Workers ≤ 1 run; see TestRunWorkersEquivalent). Zero or one keeps
 	// the fully sequential collection loop.
 	Workers int
+
+	// Inject schedules synthetic anomalies into the run: the state source
+	// is wrapped in an Injector (report corruption) and a FaultExecutor
+	// (collapse windows as denied probes), so the injection timetable is
+	// free ground truth for the detection harness (see
+	// DefaultAnomalyScenarios and anomaly.Score). Injection routes probes
+	// through the fault wrapper, which forfeits the zero-alloc append
+	// executor fast path — use it for labeled runs, not benchmarks. Empty
+	// keeps the run byte-identical to pre-injection behaviour.
+	Inject []InjectedAnomaly
+
+	// Detect, when set, taps the sink's commit path with the streaming
+	// anomaly detectors: every committed sample and iteration record is
+	// fed through Detect under the sink lock, and detections land on the
+	// detector's event ring (and its telemetry registry, if any). The
+	// caller reads results via Detect.Ring().
+	Detect *anomaly.Detectors
 }
 
 // Default returns the configuration reproducing the paper's experiment.
@@ -107,6 +125,22 @@ func Run(cfg Config) (*Result, error) {
 
 	lat := rng.Derive(cfg.Seed, "latency")
 	sink := ddc.NewDatasetSink(start, end, cfg.Period, infos).WithTelemetry(cfg.Telemetry)
+	if cfg.Detect != nil {
+		cfg.Detect.SetMachines(infos)
+		sink.Tap(cfg.Detect.Sample, cfg.Detect.Iteration)
+	}
+	var exec ddc.Executor = &ddc.Direct{
+		Source: lab.Source{Fleet: fleet},
+		Now:    eng.Now,
+	}
+	if len(cfg.Inject) > 0 {
+		inj := NewInjector(lab.Source{Fleet: fleet}, infos, cfg.Inject)
+		exec = &ddc.FaultExecutor{
+			Inner:  &ddc.Direct{Source: inj, Now: eng.Now},
+			Seed:   cfg.Seed,
+			DownFn: func(id string) bool { return inj.DownNow(id, eng.Now()) },
+		}
+	}
 	coll := &ddc.SimCollector{
 		Telemetry: cfg.Telemetry,
 		Cfg: ddc.Config{
@@ -120,10 +154,7 @@ func Run(cfg Config) (*Result, error) {
 			},
 			Outages: GenerateOutages(cfg),
 		},
-		Exec: &ddc.Direct{
-			Source: lab.Source{Fleet: fleet},
-			Now:    eng.Now,
-		},
+		Exec:    exec,
 		Post:    sink.Post,
 		Workers: cfg.Workers,
 		Prepare: sink.Prepare,

@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"winlab/internal/anomaly"
+	"winlab/internal/ddc"
+	"winlab/internal/machine"
+	"winlab/internal/rng"
+	"winlab/internal/trace"
+)
+
+// InjectedAnomaly schedules one synthetic anomaly into a run. The
+// injection window is expressed in experiment time; what happens inside
+// it depends on Kind:
+//
+//   - KindAvailabilityCollapse: every machine of Lab is unreachable for
+//     the window (routed through FaultExecutor's DownFn — the probes are
+//     attempted and denied, exactly like a switch failure).
+//   - KindRebootStorm: the targeted machines report a fresh boot on
+//     every probe of the window; their SMART power-cycle counter keeps
+//     the accumulated extra boots forever after (real storms leave real
+//     cycles behind — and a counter that snapped back would itself be a
+//     SMART regression).
+//   - KindSMARTAnomaly: from Start onward the machine's power-cycle
+//     and/or power-on-hours counters are offset by CycleJump/HoursJump —
+//     a one-time firmware-glitch step, persistent so the trace stays
+//     monotone after the jump.
+//   - KindSensorStaleness: the machine answers every probe of the window
+//     with its first in-window report, bit-frozen except the timestamp.
+//   - KindUsageDrift: the machine reports MemLoadPct/SwapLoadPct pinned
+//     near saturation and its disk filled to DriftFreeGB free.
+//
+// Machines lists explicit targets; an empty list targets every machine
+// of Lab.
+type InjectedAnomaly struct {
+	Kind     anomaly.Kind
+	Lab      string
+	Machines []string
+	Start    time.Time
+	End      time.Time
+
+	// SMART jump magnitudes (KindSMARTAnomaly).
+	CycleJump int64
+	HoursJump int64
+
+	// Drift targets (KindUsageDrift); zero values pick the defaults
+	// (mem/swap ≈ saturated, disk filled to 0.4 GB free).
+	DriftMemPct int
+	DriftFreeGB float64
+}
+
+func (a InjectedAnomaly) active(at time.Time) bool {
+	return !at.Before(a.Start) && at.Before(a.End)
+}
+
+func (a InjectedAnomaly) targets(machineID, lab string) bool {
+	if len(a.Machines) == 0 {
+		return a.Lab == lab
+	}
+	for _, m := range a.Machines {
+		if m == machineID {
+			return true
+		}
+	}
+	return false
+}
+
+// Injector wraps a ddc.StateSource and applies scheduled anomalies to
+// the snapshots flowing through it. Collapse windows are not applied
+// here — they are transport failures, not report corruption — but
+// DownNow answers them for FaultExecutor.DownFn.
+type Injector struct {
+	src       ddc.StateSource
+	labOf     map[string]string
+	anomalies []InjectedAnomaly
+
+	mu          sync.Mutex
+	extraCycles map[string]int64            // storm: persistent synthetic power cycles
+	frozen      map[string]machine.Snapshot // staleness: replayed report per machine
+}
+
+// NewInjector builds an injector over src for the given fleet and
+// schedule.
+func NewInjector(src ddc.StateSource, infos []trace.MachineInfo, anomalies []InjectedAnomaly) *Injector {
+	labOf := make(map[string]string, len(infos))
+	for _, info := range infos {
+		labOf[info.ID] = info.Lab
+	}
+	return &Injector{
+		src:         src,
+		labOf:       labOf,
+		anomalies:   anomalies,
+		extraCycles: make(map[string]int64),
+		frozen:      make(map[string]machine.Snapshot),
+	}
+}
+
+// DownNow reports whether machineID is inside an active availability-
+// collapse window at the given instant.
+func (in *Injector) DownNow(machineID string, at time.Time) bool {
+	lab := in.labOf[machineID]
+	for _, a := range in.anomalies {
+		if a.Kind == anomaly.KindAvailabilityCollapse && a.active(at) && a.targets(machineID, lab) {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot implements ddc.StateSource with the schedule applied.
+func (in *Injector) Snapshot(machineID string, at time.Time) (machine.Snapshot, bool) {
+	sn, ok := in.src.Snapshot(machineID, at)
+	if !ok {
+		return sn, false
+	}
+	lab := in.labOf[machineID]
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	// Persistent power-cycle offset from past (or ongoing) storms.
+	if extra := in.extraCycles[machineID]; extra > 0 {
+		sn.PowerCycles += extra
+	}
+	for _, a := range in.anomalies {
+		if !a.targets(machineID, lab) {
+			continue
+		}
+		switch a.Kind {
+		case anomaly.KindRebootStorm:
+			if !a.active(at) {
+				continue
+			}
+			// One synthetic boot per probe: fresh BootTime, short uptime,
+			// reset per-boot counters, one more SMART power cycle —
+			// forever.
+			in.extraCycles[machineID]++
+			sn.PowerCycles++
+			sn.BootTime = at.Add(-90 * time.Second)
+			sn.Uptime = 90 * time.Second
+			sn.CPUIdle = 60 * time.Second
+			sn.SentBytes = 200 << 10
+			sn.RecvBytes = 800 << 10
+			sn.SessionUser = ""
+			sn.SessionStart = time.Time{}
+		case anomaly.KindSMARTAnomaly:
+			if at.Before(a.Start) {
+				continue
+			}
+			sn.PowerCycles += a.CycleJump
+			sn.PowerOnHours += a.HoursJump
+		case anomaly.KindSensorStaleness:
+			if !a.active(at) {
+				continue
+			}
+			if frozen, held := in.frozen[machineID]; held {
+				frozen.Time = at
+				sn = frozen
+			} else {
+				in.frozen[machineID] = sn
+			}
+		case anomaly.KindUsageDrift:
+			if !a.active(at) {
+				continue
+			}
+			memPct := a.DriftMemPct
+			if memPct == 0 {
+				memPct = 97
+			}
+			freeGB := a.DriftFreeGB
+			if freeGB == 0 {
+				freeGB = 0.4
+			}
+			sn.MemLoadPct = memPct
+			sn.SwapLoadPct = 93
+			if sn.FreeDiskGB > freeGB {
+				sn.FreeDiskGB = freeGB
+			}
+		}
+	}
+	return sn, true
+}
+
+// Labels converts the schedule into scoring ground truth: one Label per
+// injection, with iteration coordinates derived from cfg's start and
+// period. SMART labels extend to the end of the run — the counter
+// offset is persistent, so the detection may legitimately date anywhere
+// after onset (in practice: the first probe past Start).
+func Labels(cfg Config, anomalies []InjectedAnomaly) []anomaly.Label {
+	iterOf := func(t time.Time) int {
+		return int(t.Sub(cfg.Start) / cfg.Period)
+	}
+	lastIter := iterOf(cfg.End()) - 1
+	out := make([]anomaly.Label, 0, len(anomalies))
+	for _, a := range anomalies {
+		l := anomaly.Label{
+			Kind:      a.Kind,
+			Lab:       a.Lab,
+			Machines:  a.Machines,
+			FirstIter: iterOf(a.Start),
+			LastIter:  iterOf(a.End),
+		}
+		if a.Kind == anomaly.KindSMARTAnomaly {
+			l.LastIter = lastIter
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// DefaultAnomalyScenarios builds the labeled scenario set the
+// precision/recall harness runs: two availability collapses, a lab-wide
+// and a machine-scoped reboot storm, two SMART jumps (cycles, hours),
+// two stuck-sensor windows and two usage-drift windows — every one on a
+// distinct lab, placed in open hours of the second week so the seasonal
+// availability baselines and per-machine usage baselines have a full
+// week of clean warmup. Lab and machine picks are drawn from the config
+// seed, so each seed exercises a different corner of the fleet.
+// Requires Days ≥ 12 and a Start on the fleet's usual Monday.
+func DefaultAnomalyScenarios(cfg Config) ([]InjectedAnomaly, []anomaly.Label, error) {
+	if cfg.Days < 12 {
+		return nil, nil, fmt.Errorf("anomaly scenarios need ≥ 12 days of trace, got %d", cfg.Days)
+	}
+	if len(cfg.Labs) < 10 {
+		return nil, nil, fmt.Errorf("anomaly scenarios need ≥ 10 labs, got %d", len(cfg.Labs))
+	}
+	src := rng.Derive(cfg.Seed, "anomaly-scenarios")
+	// Shuffle the lab order; scenario i uses labs[i], so every scenario
+	// lands on its own lab.
+	labs := make([]int, len(cfg.Labs))
+	for i := range labs {
+		labs[i] = i
+	}
+	src.Shuffle(len(labs), func(i, j int) { labs[i], labs[j] = labs[j], labs[i] })
+
+	at := func(day, hour int) time.Time {
+		return cfg.Start.AddDate(0, 0, day).Add(time.Duration(hour) * time.Hour)
+	}
+	// pick n distinct machines of lab spec li.
+	pick := func(li, n int) []string {
+		spec := cfg.Labs[li]
+		idx := make([]int, spec.Machines)
+		for i := range idx {
+			idx[i] = i
+		}
+		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		if n > len(idx) {
+			n = len(idx)
+		}
+		out := make([]string, 0, n)
+		for _, i := range idx[:n] {
+			out = append(out, fmt.Sprintf("%s-M%02d", spec.Name, i+1))
+		}
+		return out
+	}
+	labName := func(li int) string { return cfg.Labs[li].Name }
+
+	// All windows sit on Tuesday–Friday of week 2 (days 8–11; day 7 is
+	// the Monday after a closed weekend, when many machines are still
+	// powered off and machine-scoped injections would hit dark targets).
+	anomalies := []InjectedAnomaly{
+		// Availability collapses: a whole lab vanishes mid-morning / mid-
+		// afternoon on weekdays of week 2.
+		{Kind: anomaly.KindAvailabilityCollapse, Lab: labName(labs[0]), Start: at(8, 11), End: at(8, 14)},
+		{Kind: anomaly.KindAvailabilityCollapse, Lab: labName(labs[1]), Start: at(10, 14), End: at(10, 16)},
+		// Reboot storms: one lab-wide, one on a 3-machine subset.
+		{Kind: anomaly.KindRebootStorm, Lab: labName(labs[2]), Start: at(9, 10), End: at(9, 12)},
+		{Kind: anomaly.KindRebootStorm, Lab: labName(labs[3]), Machines: pick(labs[3], 3), Start: at(11, 10), End: at(11, 12)},
+		// SMART jumps: one power-cycle step, one power-on-hours step.
+		{Kind: anomaly.KindSMARTAnomaly, Lab: labName(labs[4]), Machines: pick(labs[4], 1), Start: at(8, 11), End: at(8, 12), CycleJump: 500},
+		{Kind: anomaly.KindSMARTAnomaly, Lab: labName(labs[5]), Machines: pick(labs[5], 1), Start: at(9, 11), End: at(9, 12), HoursJump: 2000},
+		// Stuck sensors: agents replay a frozen report through a morning.
+		{Kind: anomaly.KindSensorStaleness, Lab: labName(labs[6]), Machines: pick(labs[6], 4), Start: at(8, 10), End: at(8, 14)},
+		{Kind: anomaly.KindSensorStaleness, Lab: labName(labs[7]), Machines: pick(labs[7], 4), Start: at(10, 10), End: at(10, 14)},
+		// Usage drift: memory and disk leave the machine's regime for a day.
+		{Kind: anomaly.KindUsageDrift, Lab: labName(labs[8]), Machines: pick(labs[8], 2), Start: at(9, 9), End: at(9, 18)},
+		{Kind: anomaly.KindUsageDrift, Lab: labName(labs[9]), Machines: pick(labs[9], 2), Start: at(11, 9), End: at(11, 18)},
+	}
+	return anomalies, Labels(cfg, anomalies), nil
+}

@@ -1,9 +1,10 @@
 // Package httpx serves a telemetry.Registry over HTTP: Prometheus text
 // exposition on /metrics, a JSON snapshot on /vars, a liveness check on
-// /healthz, recent probe spans on /spans, and the standard net/http/pprof
-// profiling endpoints under /debug/pprof/. It is the live window into a
-// running coordinator — the same counters Stats reports after a run, but
-// scrapeable while the sweep is still going.
+// /healthz, recent probe spans on /spans, recent anomaly events on
+// /events, and the standard net/http/pprof profiling endpoints under
+// /debug/pprof/. It is the live window into a running coordinator — the
+// same counters Stats reports after a run, but scrapeable while the
+// sweep is still going.
 package httpx
 
 import (
@@ -24,11 +25,42 @@ type Server struct {
 	ln  net.Listener
 }
 
-// Handler builds the telemetry mux for reg. The registry may be nil, in
+// EventSource is anything that can render its recent events as a JSON
+// array — anomaly.Ring in practice. n > 0 limits the output to the n
+// most recent events. The indirection keeps httpx decoupled from the
+// detector package: a nil source serves "[]".
+type EventSource interface {
+	AppendJSON(dst []byte, n int) []byte
+}
+
+// Handler builds the telemetry mux for reg with no event source; the
+// /events endpoint serves an empty array. The registry may be nil, in
 // which case /metrics and /vars serve empty documents (the endpoints
 // stay up so probes of the coordinator itself keep working).
 func Handler(reg *telemetry.Registry) http.Handler {
+	return HandlerEvents(reg, nil)
+}
+
+// HandlerEvents builds the telemetry mux for reg and serves ev's recent
+// events on /events (most recent last; ?n=K limits to the K newest).
+func HandlerEvents(reg *telemetry.Registry, ev EventSource) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		n := 0
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if v, err := strconv.Atoi(nStr); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if ev == nil {
+			_, _ = w.Write([]byte("[]\n"))
+			return
+		}
+		out := ev.AppendJSON(nil, n)
+		out = append(out, '\n')
+		_, _ = w.Write(out)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -67,12 +99,17 @@ func Handler(reg *telemetry.Registry) http.Handler {
 // Serve binds addr (e.g. "127.0.0.1:9090", ":0" for an ephemeral port)
 // and serves the telemetry endpoints in a background goroutine.
 func Serve(addr string, reg *telemetry.Registry) (*Server, error) {
+	return ServeEvents(addr, reg, nil)
+}
+
+// ServeEvents is Serve with an event source backing /events.
+func ServeEvents(addr string, reg *telemetry.Registry, ev EventSource) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg),
+		Handler:           HandlerEvents(reg, ev),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	s := &Server{srv: srv, ln: ln}

@@ -2,12 +2,14 @@ package httpx
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 
+	"winlab/internal/anomaly"
 	"winlab/internal/telemetry"
 )
 
@@ -83,6 +85,68 @@ func TestServerEndpoints(t *testing.T) {
 	_, resp = get(t, srv.URL()+"/debug/pprof/cmdline")
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+// TestServerEvents serves a real anomaly ring on /events and checks the
+// response is byte-identical to the ring's own JSON rendering, that ?n=
+// limits to the newest events, and that a nil source degrades to "[]".
+func TestServerEvents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := anomaly.NewRing(8)
+	for i := 0; i < 5; i++ {
+		ring.Add(anomaly.Event{
+			Kind:      anomaly.KindRebootStorm,
+			Machine:   fmt.Sprintf("m%02d", i),
+			FirstIter: i,
+			LastIter:  i,
+			Score:     float64(i) + 0.5,
+		})
+	}
+	srv, err := ServeEvents("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatalf("ServeEvents: %v", err)
+	}
+	defer srv.Close()
+
+	body, resp := get(t, srv.URL()+"/events")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/events content-type = %q", ct)
+	}
+	if want := string(ring.AppendJSON(nil, 0)) + "\n"; body != want {
+		t.Errorf("/events = %s, want %s", body, want)
+	}
+	var events []anomaly.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if len(events) != 5 || events[4].Machine != "m04" {
+		t.Errorf("/events parsed to %+v", events)
+	}
+
+	body, _ = get(t, srv.URL()+"/events?n=2")
+	events = nil
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/events?n=2 not JSON: %v", err)
+	}
+	if len(events) != 2 || events[0].Machine != "m03" || events[1].Machine != "m04" {
+		t.Errorf("/events?n=2 = %+v, want the two newest", events)
+	}
+
+	// A malformed or non-positive limit falls back to the full buffer.
+	for _, q := range []string{"?n=bogus", "?n=-3", "?n=0"} {
+		if body, _ := get(t, srv.URL()+"/events"+q); body != string(ring.AppendJSON(nil, 0))+"\n" {
+			t.Errorf("/events%s did not serve the full buffer: %s", q, body)
+		}
+	}
+
+	nilSrv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer nilSrv.Close()
+	if body, _ := get(t, nilSrv.URL()+"/events"); body != "[]\n" {
+		t.Errorf("/events with no source = %q, want []", body)
 	}
 }
 

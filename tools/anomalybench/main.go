@@ -1,0 +1,112 @@
+// Command anomalybench is the precision/recall harness for the
+// streaming anomaly detectors: for each seed it runs a shortened
+// paper-fleet experiment with the labeled injection scenarios
+// (experiment.DefaultAnomalyScenarios), feeds the live sample stream
+// through anomaly.Detectors, scores the emitted events against the
+// injection schedule, and enforces per-detector floors. CI runs it via
+// `make anomaly`; a non-zero exit means a detector regressed below its
+// floor on a fixed seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"winlab/internal/anomaly"
+	"winlab/internal/experiment"
+)
+
+func main() {
+	var (
+		seedsFlag    = flag.String("seeds", "1,2,3", "comma-separated experiment seeds")
+		days         = flag.Int("days", 12, "experiment length in days (≥ 12: week 1 warms baselines)")
+		slack        = flag.Int("slack", 8, "label-window slack, iterations")
+		minPrecision = flag.Float64("min-precision", 0.9, "per-detector precision floor")
+		minRecall    = flag.Float64("min-recall", 0.8, "per-detector recall floor")
+		verbose      = flag.Bool("v", false, "print per-seed tables and events")
+	)
+	flag.Parse()
+
+	var seeds []int64
+	for _, f := range strings.Split(*seedsFlag, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "anomalybench: bad seed %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "anomalybench: no seeds")
+		os.Exit(2)
+	}
+
+	var runs [][]anomaly.KindScore
+	for _, seed := range seeds {
+		scores, events, labels, err := runSeed(seed, *days, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "anomalybench: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		runs = append(runs, scores)
+		if *verbose {
+			fmt.Printf("== seed %d: %d events, %d labels ==\n%s", seed, len(events), len(labels), anomaly.FormatScores(scores))
+			for _, e := range events {
+				fmt.Printf("  %s sev=%s machine=%q lab=%q iters=[%d,%d] score=%.2f %s\n",
+					e.Kind, e.Severity, e.Machine, e.Lab, e.FirstIter, e.LastIter, e.Score, e.Detail)
+			}
+		}
+	}
+
+	agg := anomaly.MergeScores(runs...)
+	fmt.Printf("aggregate over seeds %s (%d days, slack %d):\n%s",
+		*seedsFlag, *days, *slack, anomaly.FormatScores(agg))
+
+	failed := false
+	for _, s := range agg {
+		if s.Precision() < *minPrecision {
+			fmt.Printf("FAIL %s: precision %.3f < %.3f\n", s.Kind, s.Precision(), *minPrecision)
+			failed = true
+		}
+		if s.Recall() < *minRecall {
+			fmt.Printf("FAIL %s: recall %.3f < %.3f\n", s.Kind, s.Recall(), *minRecall)
+			failed = true
+		}
+		if s.Labels == 0 {
+			fmt.Printf("FAIL %s: no ground-truth labels — scenario set does not exercise this detector\n", s.Kind)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("OK: all detectors ≥ %.2f precision, ≥ %.2f recall\n", *minPrecision, *minRecall)
+}
+
+func runSeed(seed int64, days, slack int) ([]anomaly.KindScore, []anomaly.Event, []anomaly.Label, error) {
+	cfg := experiment.Default(seed)
+	cfg.Days = days
+	// The harness measures detector skill against injected anomalies, so
+	// the coordinator itself runs clean: random outages would puncture
+	// every lab's availability at once and the labels wouldn't cover it.
+	cfg.OutageFraction = 0
+	inject, labels, err := experiment.DefaultAnomalyScenarios(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg.Inject = inject
+	det := anomaly.New(anomaly.DefaultConfig(), nil)
+	cfg.Detect = det
+	if _, err := experiment.Run(cfg); err != nil {
+		return nil, nil, nil, err
+	}
+	events := det.Ring().Snapshot()
+	return anomaly.Score(events, labels, slack), events, labels, nil
+}
