@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly
+.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly gridscale
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (name → ns/op,
 # B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
 BENCHTIME ?= 1x
-BENCHJSON ?= BENCH_PR7.json
+BENCHJSON ?= BENCH_PR8.json
 
 # Fuzz smoke budget per target; raise locally for deeper runs.
 FUZZTIME ?= 10s
@@ -79,6 +79,21 @@ ANOMALYDAYS ?= 12
 # precision/recall floors (0.90 / 0.80 per kind, aggregated over seeds).
 anomaly:
 	$(GO) run ./tools/anomalybench -seeds $(ANOMALYSEEDS) -days $(ANOMALYDAYS)
+
+# gridscale is the sharded-collection gate: probe a 100k-machine
+# arithmetic fleet across 8 shards, roll each shard's samples into
+# time-chunked TBv1 segments, check the manifest, and stream-compact the
+# segments into one canonical trace — all under an enforced heap ceiling
+# of 64 MB per shard (see TestGridScale). Gating — a red run means some
+# path materialises the fleet dataset and sharded collection no longer
+# bounds per-shard memory. The iteration count is compressed (12 vs the
+# paper's 7392); the resident state does not depend on it.
+GRIDSCALE_MACHINES ?= 100000
+GRIDSCALE_ITERS ?= 12
+
+gridscale:
+	GRIDSCALE_MACHINES=$(GRIDSCALE_MACHINES) GRIDSCALE_ITERS=$(GRIDSCALE_ITERS) \
+	    $(GO) test . -run '^TestGridScale$$' -v -count 1 -timeout 20m
 
 # stream-smoke is the out-of-core gate: stream-analyze a TBv1 trace
 # several times larger than an enforced soft memory limit and assert

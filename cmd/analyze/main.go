@@ -11,6 +11,10 @@
 // dataset, so memory stays flat regardless of trace size. It requires
 // the TBv1 binary format (convert CSV traces with tracecat first) and
 // skips the survival-predictor section, which needs random access.
+// A segment manifest from a sharded run (labmon -shards -segments) is
+// accepted in place of a trace file — the unmerged segments stream
+// straight into the accumulators, one goroutine per segment, no
+// compaction needed.
 package main
 
 import (

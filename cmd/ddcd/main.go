@@ -25,10 +25,18 @@
 // Usage:
 //
 //	ddcd [-machines 8] [-iters 20] [-period 100ms] [-accel 9000]
-//	     [-workers 1] [-retries 0] [-probe-timeout 0] [-failp 0]
+//	     [-workers 1] [-shards 1] [-retries 0] [-probe-timeout 0] [-failp 0]
 //	     [-breaker-k 0] [-breaker-every 4]
 //	     [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl]
 //	     [-events-out events.jsonl]
+//
+// With -shards N the fleet is partitioned across N coordinators running
+// concurrently, each collecting into its own sink over the shared TCP
+// transport. Wall shards run on real clocks and do not share an
+// iteration clock, so their traces merge with trace.Merge (iterations
+// renumbered chronologically) — unlike the simulator's ShardedCollector,
+// whose shards share one scheduling chain and merge sample-identically
+// via MergeSharded.
 package main
 
 import (
@@ -91,6 +99,7 @@ func main() {
 		accel     = flag.Float64("accel", 9000, "simulated seconds per wall second")
 		seed      = flag.Int64("seed", 1, "seed")
 		workers   = flag.Int("workers", 1, "concurrent probes per iteration")
+		shards    = flag.Int("shards", 1, "partition the fleet across N concurrent coordinators, one sink each (merged for the report)")
 		retries   = flag.Int("retries", 0, "extra probe attempts per machine per iteration")
 		ptimeout  = flag.Duration("probe-timeout", 0, "per-probe deadline (0 = executor default)")
 		failp     = flag.Float64("failp", 0, "injected transient probe-failure probability")
@@ -209,43 +218,98 @@ func main() {
 	// the wall period scaled by the acceleration factor.
 	simPeriod := time.Duration(float64(*period) * *accel)
 	simSpan := time.Duration(*iters) * simPeriod
-	sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos).WithTelemetry(reg)
 	if det != nil {
 		det.SetMachines(infos)
-		sink.Tap(det.Sample, det.Iteration)
 	}
 
 	// Optional fault injection between the coordinator and the TCP path,
 	// so the retry/breaker machinery can be demonstrated deterministically.
+	// The fault executor is mutex-protected, so concurrent shards share
+	// one injection stream (like concurrent workers already do).
 	var collExec ddc.Executor = exec
 	var faults *ddc.FaultExecutor
 	if *failp > 0 {
 		faults = &ddc.FaultExecutor{Inner: exec, TransientFailP: *failp, Seed: *seed}
 		collExec = faults
 	}
-	coll := &ddc.WallCollector{
-		Cfg:          ddc.Config{Machines: ids, Period: *period},
-		Exec:         collExec,
-		Post:         sink.Post,
-		Prepare:      sink.Prepare, // parse on the probing worker, commit in machine order
-		Workers:      *workers,
-		ProbeTimeout: *ptimeout,
-		Retry:        ddc.RetryPolicy{MaxAttempts: 1 + *retries, Jitter: 0.5, Seed: *seed},
-		Breaker:      ddc.BreakerPolicy{FailThreshold: *breakerK, ProbeEvery: *breakerN},
-		Telemetry:    reg,
-	}
-	coll.OnIteration = sink.OnIteration
 
-	fmt.Fprintf(os.Stderr, "ddcd: collecting %d iterations over TCP (%.0fx accelerated)...\n",
-		*iters, *accel)
-	stats, err := coll.Run(*iters, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddcd:", err)
-		os.Exit(1)
+	// Partition the fleet across -shards concurrent coordinators, each
+	// with its own sink. Unlike the simulator's ShardedCollector, wall
+	// shards run on real clocks and do not share an iteration clock, so
+	// their traces merge with trace.Merge (the independent-coordinators
+	// merge: iterations renumbered chronologically), not MergeSharded.
+	nShards := *shards
+	if nShards < 1 {
+		nShards = 1
 	}
-	ds, err := sink.Dataset()
+	parts := ddc.PartitionN(ids, nShards)
+	var detMu sync.Mutex
+	sinks := make([]*ddc.DatasetSink, len(parts))
+	colls := make([]*ddc.WallCollector, len(parts))
+	at := 0
+	for s, part := range parts {
+		sink := ddc.NewDatasetSink(start, start.Add(simSpan), simPeriod, infos[at:at+len(part)]).WithTelemetry(reg)
+		at += len(part)
+		if det != nil {
+			// One detector instance observes every shard; sink taps fire on
+			// the shard's goroutine, so serialise them.
+			sink.Tap(func(smp *trace.Sample) {
+				detMu.Lock()
+				defer detMu.Unlock()
+				det.Sample(smp)
+			}, func(it trace.Iteration) {
+				detMu.Lock()
+				defer detMu.Unlock()
+				det.Iteration(it)
+			})
+		}
+		sinks[s] = sink
+		colls[s] = &ddc.WallCollector{
+			Cfg:          ddc.Config{Machines: part, Period: *period},
+			Exec:         collExec,
+			Post:         sink.Post,
+			Prepare:      sink.Prepare, // parse on the probing worker, commit in machine order
+			Workers:      *workers,
+			ProbeTimeout: *ptimeout,
+			Retry:        ddc.RetryPolicy{MaxAttempts: 1 + *retries, Jitter: 0.5, Seed: *seed},
+			Breaker:      ddc.BreakerPolicy{FailThreshold: *breakerK, ProbeEvery: *breakerN},
+			Telemetry:    reg,
+		}
+		colls[s].OnIteration = sink.OnIteration
+	}
+
+	fmt.Fprintf(os.Stderr, "ddcd: collecting %d iterations over TCP across %d shard(s) (%.0fx accelerated)...\n",
+		*iters, len(parts), *accel)
+	shardStats := make([]ddc.Stats, len(parts))
+	shardErrs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for s := range colls {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			shardStats[s], shardErrs[s] = colls[s].Run(*iters, nil)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range shardErrs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddcd: shard %d: %v\n", s, err)
+			os.Exit(1)
+		}
+	}
+	stats := sumWallStats(shardStats)
+	shardDS := make([]*trace.Dataset, len(parts))
+	for s, sink := range sinks {
+		d, err := sink.Dataset()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddcd: shard %d: corrupt probe output: %v\n", s, err)
+			os.Exit(1)
+		}
+		shardDS[s] = d
+	}
+	ds, err := trace.Merge(shardDS...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddcd: corrupt probe output:", err)
+		fmt.Fprintln(os.Stderr, "ddcd: merging shard traces:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "ddcd: %d attempts, %d samples, %d retries, %d breaker skips (%d opens)\n",
@@ -259,6 +323,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ddcd: machines with open breaker or consecutive failures: %v\n", down)
 	}
 	report.Table2(analysis.MainResults(ds, analysis.DefaultForgottenThreshold)).Render(os.Stdout)
+}
+
+// sumWallStats folds per-shard wall-collector stats into one fleet-wide
+// view: additive counters sum, per-machine health maps union (machine
+// sets are disjoint across shards). Iterations/Skipped are per-shard
+// coordinator counts and agree across shards, so they come from the
+// first.
+func sumWallStats(shards []ddc.Stats) ddc.Stats {
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	var out ddc.Stats
+	out.Iterations = shards[0].Iterations
+	out.Skipped = shards[0].Skipped
+	out.Machines = map[string]ddc.MachineHealth{}
+	for _, s := range shards {
+		out.Attempts += s.Attempts
+		out.Samples += s.Samples
+		out.Retries += s.Retries
+		out.BreakerSkipped += s.BreakerSkipped
+		out.BreakerOpens += s.BreakerOpens
+		for id, h := range s.Machines {
+			out.Machines[id] = h
+		}
+	}
+	return out
 }
 
 // unhealthyMachines lists machines the collector currently distrusts, in

@@ -18,8 +18,14 @@
 //
 // Usage:
 //
-//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
+//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-shards N] [-segments dir] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
 //	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl] [-events-out events.jsonl]
+//
+// With -shards N the fleet is partitioned lab-aligned across N
+// coordinator shards (the merged trace is identical to an unsharded run;
+// see internal/ddc's sharded collector); -segments additionally writes
+// each shard's trace as an independent TBv1 segment file plus a manifest,
+// which traceconv -merge compacts into one canonical trace.
 package main
 
 import (
@@ -98,6 +104,8 @@ func main() {
 		reps      = flag.Int("replicate", 0, "run N independent seeds and report mean ± sd")
 		traceFmt  = flag.String("trace-format", "auto", "trace file format: auto (by extension), csv, or tbv1 (binary)")
 		workers   = flag.Int("workers", 0, "probe render/parse workers per collector iteration (<=1: sequential; the collected trace is identical either way)")
+		shards    = flag.Int("shards", 0, "partition the fleet across N coordinator shards (lab-aligned; the merged trace is identical to an unsharded run)")
+		segDir    = flag.String("segments", "", "with -shards: also write the per-shard TBv1 segment files plus manifest into this directory")
 		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /events, /healthz, /debug/pprof/) on this address")
 		spansOut  = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 		eventsOut = flag.String("events-out", "", "stream anomaly events to this JSONL file")
@@ -108,6 +116,11 @@ func main() {
 	cfg.Days = *days
 	cfg.Period = *period
 	cfg.Workers = *workers
+	cfg.Shards = *shards
+	if *segDir != "" && *shards <= 1 {
+		fmt.Fprintln(os.Stderr, "labmon: -segments needs -shards > 1 (segments are the per-shard outputs)")
+		os.Exit(1)
+	}
 
 	if *metrics != "" || *spansOut != "" || *eventsOut != "" {
 		cfg.Telemetry = telemetry.NewRegistry()
@@ -185,6 +198,20 @@ func main() {
 	if c.Retries > 0 || c.BreakerSkipped > 0 {
 		fmt.Fprintf(os.Stderr, "labmon: collector health: %d retries, %d breaker skips (%d opens)\n",
 			c.Retries, c.BreakerSkipped, c.BreakerOpens)
+	}
+
+	if *segDir != "" {
+		if err := os.MkdirAll(*segDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		mpath, err := trace.WriteSegments(*segDir, "labmon", res.ShardDatasets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon: writing segments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "labmon: %d segment files + manifest written to %s (compact with traceconv -merge)\n",
+			len(res.ShardDatasets), mpath)
 	}
 
 	if *traceOut != "" {

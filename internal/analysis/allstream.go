@@ -53,7 +53,7 @@ func AllStream(c *stream.Cursor, opts Options) (*Results, error) {
 	iterations := c.Iterations()
 
 	if opts.Workers <= 1 {
-		acc := newStreamAcc(c, machines, opts)
+		acc := newStreamAcc(c.Start(), c.End(), c.Period(), machines, opts)
 		var run stream.Run
 		for {
 			ok, err := c.NextRun(&run)
@@ -73,7 +73,7 @@ func AllStream(c *stream.Cursor, opts Options) (*Results, error) {
 
 	shards := make([]*streamAcc, opts.Workers)
 	for i := range shards {
-		shards[i] = newStreamAcc(c, machines, opts)
+		shards[i] = newStreamAcc(c.Start(), c.End(), c.Period(), machines, opts)
 	}
 	err := stream.Parallel(c, opts.Workers, func(w int, run *stream.Run) error {
 		return shards[w].addRun(run)
@@ -179,12 +179,12 @@ type streamAcc struct {
 	capIter  map[int]*capIterSum
 }
 
-func newStreamAcc(c *stream.Cursor, machines []trace.MachineInfo, opts Options) *streamAcc {
+func newStreamAcc(start, end time.Time, period time.Duration, machines []trace.MachineInfo, opts Options) *streamAcc {
 	a := &streamAcc{
-		start:     c.Start(),
-		end:       c.End(),
+		start:     start,
+		end:       end,
 		threshold: opts.Threshold,
-		maxGap:    2 * c.Period(),
+		maxGap:    2 * period,
 		ageMax:    opts.SessionAgeHours,
 		histCap:   opts.HistCap,
 		mach:      make(map[string]*machState),

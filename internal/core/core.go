@@ -100,16 +100,16 @@ func AnalyzeResult(res *Result) *Report {
 // artefacts on a canonical trace; workers > 1 shards by machine (counts
 // exact, merged floats within documented epsilon).
 //
+// A segment manifest (labmon -shards -segments) is accepted in place of
+// a trace file: the unmerged segments feed the accumulators directly
+// via analysis.AllSegments — no compaction step needed. Manifests carry
+// their own per-segment concurrency, so -workers is ignored for them.
+//
 // The survival predictor needs two full passes over a materialised
 // dataset, so Survival is nil in a streamed report and Render skips
 // that section.
 func AnalyzeStream(path string, workers int) (*Report, error) {
-	c, err := stream.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
-	a, err := analysis.AllStream(c, analysis.Options{Workers: workers})
+	a, err := allStreamAny(path, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +125,33 @@ func AnalyzeStream(path string, workers int) (*Report, error) {
 		Labs2:       a.Labs,
 		Capacity:    a.Capacity,
 	}, nil
+}
+
+// allStreamAny streams either a TBv1 trace file or a segment manifest.
+// Manifests are written as uncompressed JSON, so a leading '{' is the
+// same content sniff trace.ReadAny keys on — cheap and unambiguous
+// against TBv1 magic and the gzip header.
+func allStreamAny(path string, workers int) (*analysis.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var first [1]byte
+	_, rerr := io.ReadFull(f, first[:])
+	f.Close()
+	if rerr == nil && first[0] == '{' {
+		m, err := trace.ReadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.AllManifest(m, filepath.Dir(path), analysis.Options{})
+	}
+	c, err := stream.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return analysis.AllStream(c, analysis.Options{Workers: workers})
 }
 
 // Render writes the full text report: Table 1 (when available), Table 2

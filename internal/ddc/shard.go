@@ -1,0 +1,521 @@
+package ddc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"winlab/internal/probe"
+	"winlab/internal/sim"
+	"winlab/internal/telemetry"
+	"winlab/internal/trace"
+)
+
+// Sharded fleet collection. One coordinator still owns the probe clock —
+// a single serial event chain on the engine schedules every probe at its
+// exact simulated instant, in global machine order, drawing the same
+// latencies the serial collector would — but the machines are
+// partitioned across N shards, and everything downstream of scheduling
+// (report rendering, parsing, sink commits) runs on one goroutine per
+// shard against that shard's own sink. Each shard can then write an
+// independent TBv1 segment file, which is what bounds per-shard memory:
+// a shard holds 1/N of the fleet's samples, and trace.MergeSegments
+// compacts the segments into the canonical fleet trace without
+// materialising any of them.
+//
+// Identity argument (asserted by internal/validate's shard arms): the
+// scheduling chain is byte-for-byte the serial collector's — same
+// snapshot instants, same RNG draw order, same accounting via the shared
+// accountProbe — so the sample streams are identical; only where the
+// pure render/parse work executes moves. The per-shard sinks see their
+// machines in the same relative order and at the same iteration
+// boundaries as the fleet-wide sink would, so the merged dataset is
+// sample-identical to the serial run.
+
+// AtExecutor is the executor shape built for sharded scheduling: the
+// scheduling step receives the probe's simulated instant explicitly and
+// returns a render job that may run later on another goroutine. Unlike
+// DeferredExecutor.Begin — which must capture the full machine snapshot
+// at call time — a BeginAppendAt implementation backed by a pure
+// (time-travel-queryable) source can defer even the snapshot to the
+// render job, leaving only a reachability decision on the scheduling
+// chain. That is what makes sharded collection scale: the serial chain
+// does O(1) work per probe and the per-shard goroutines do the rest.
+type AtExecutor interface {
+	BeginAppendAt(machineID string, at time.Time) (AppendProbeJob, error)
+}
+
+// PureSource is a StateSource whose snapshots are pure functions of
+// (machine, instant): Snapshot may be called from any goroutine, at any
+// real time, for any simulated instant, and returns the same state.
+// Reachable must agree with what Snapshot's ok result would be at the
+// same instant. The simulated fleet does NOT qualify — machine.Machine
+// advances internal counters on every Snapshot, so it must be probed on
+// the engine thread via Direct — but arithmetically-derived sources
+// (the gridscale harness) and replay sources do, and they are where the
+// scale-out matters.
+type PureSource interface {
+	StateSource
+	Reachable(machineID string, at time.Time) bool
+}
+
+// PureDirect is the Executor/AtExecutor over a PureSource: scheduling
+// only asks Reachable (cheap, on the engine chain), and the returned job
+// takes the snapshot and renders the report on whatever goroutine runs
+// it — the honest model of a real deployment, where the probe executes
+// on the remote machine, not on the coordinator.
+type PureDirect struct {
+	Source PureSource
+	Now    func() time.Time
+}
+
+// Exec implements Executor for serial use of the same source.
+func (d *PureDirect) Exec(machineID string) ([]byte, error) {
+	sn, ok := d.Source.Snapshot(machineID, d.Now())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return probe.Render(sn), nil
+}
+
+// BeginAppendAt implements AtExecutor. If the source breaks the purity
+// contract (Reachable true but Snapshot later says no), the job renders
+// an empty report, which the sink books as a parse error — visible, not
+// silently dropped.
+func (d *PureDirect) BeginAppendAt(machineID string, at time.Time) (AppendProbeJob, error) {
+	if !d.Source.Reachable(machineID, at) {
+		return nil, ErrUnreachable
+	}
+	src := d.Source
+	return func(dst []byte) []byte {
+		sn, ok := src.Snapshot(machineID, at)
+		if !ok {
+			return dst
+		}
+		return probe.AppendRender(dst, sn)
+	}, nil
+}
+
+// PartitionN splits ids into at most n contiguous, non-empty parts whose
+// concatenation is ids — an even split, with the first len(ids)%n parts
+// one element longer. n is clamped to [1, len(ids)].
+func PartitionN(ids []string, n int) [][]string {
+	if len(ids) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([][]string, 0, n)
+	base, extra := len(ids)/n, len(ids)%n
+	at := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, ids[at:at+size])
+		at += size
+	}
+	return out
+}
+
+// PartitionLabAligned splits a machine catalogue into at most n
+// contiguous, non-empty parts without splitting any contiguous run of
+// one lab across parts. Lab alignment is what keeps the per-shard
+// anomaly-detector view coherent: detectors aggregate per lab, and with
+// every lab wholly inside one shard, that shard's sink sees the lab's
+// samples in exactly the serial order (see experiment's sharded path).
+// Parts are balanced greedily toward machines/n, one lab run at a time;
+// the concatenation of the parts is the input slice.
+func PartitionLabAligned(infos []trace.MachineInfo, n int) [][]trace.MachineInfo {
+	if len(infos) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	// Contiguous lab runs — the indivisible units.
+	type group struct{ start, end int }
+	var groups []group
+	for i := 0; i < len(infos); {
+		j := i + 1
+		for j < len(infos) && infos[j].Lab == infos[i].Lab {
+			j++
+		}
+		groups = append(groups, group{i, j})
+		i = j
+	}
+	if n > len(groups) {
+		n = len(groups)
+	}
+	out := make([][]trace.MachineInfo, 0, n)
+	g, remaining := 0, len(infos)
+	for part := 0; part < n && g < len(groups); part++ {
+		partsLeft := n - part
+		fair := (remaining + partsLeft - 1) / partsLeft
+		start := groups[g].start
+		size := 0
+		for g < len(groups) {
+			gs := groups[g].end - groups[g].start
+			if size > 0 {
+				// Leave at least one group for each later part, and only
+				// keep taking while the overshoot past the fair share is no
+				// worse than the undershoot of stopping here.
+				if len(groups)-g <= partsLeft-1 || size >= fair || size+gs-fair > fair-size {
+					break
+				}
+			}
+			size += gs
+			g++
+		}
+		out = append(out, infos[start:start+size])
+		remaining -= size
+	}
+	return out
+}
+
+// ShardSpec is one shard's slice of the fleet and its private downstream
+// hooks. Post and OnIteration are invoked on the shard's own goroutine —
+// serially within the shard, concurrently with other shards — so a
+// per-shard DatasetSink needs no extra locking, but hooks shared across
+// shards must synchronise themselves.
+type ShardSpec struct {
+	Machines []string
+
+	// Post receives every probe outcome of this shard's machines, in
+	// machine order within each iteration (typically a per-shard
+	// DatasetSink.Post). The stdout lifetime contract is PostCollect's:
+	// the buffer is reused for the next report.
+	Post PostCollect
+
+	// OnIteration, when set, fires after the shard finishes committing an
+	// iteration, with shard-local Attempted/Responded counts.
+	OnIteration IterationFunc
+}
+
+// shardBatch carries one iteration's scheduled jobs for one shard from
+// the engine chain to the shard goroutine.
+type shardBatch struct {
+	iter       int
+	start, end time.Time
+	responded  int // within this shard
+	jobs       []AppendProbeJob
+	errs       []error
+	wg         *sync.WaitGroup // global iteration barrier; nil when unused
+}
+
+// ShardedCollector runs the collection loop with the fleet partitioned
+// across shards (see the package comment at the top of this file for the
+// architecture and the identity argument). The executor must support a
+// deferred scheduling step: AtExecutor (preferred — O(1) scheduling),
+// AppendDeferredExecutor, or DeferredExecutor. Plain synchronous
+// executors — including FaultExecutor, whose injected faults are
+// decided at execution time — are rejected at Install.
+type ShardedCollector struct {
+	// Cfg supplies Period, latencies and outages; Cfg.Machines is
+	// ignored — the fleet is the concatenation of the shard machine
+	// lists, in shard order.
+	Cfg    Config
+	Exec   Executor
+	Shards []ShardSpec
+
+	// OnIteration, when set, fires after *all* shards have committed an
+	// iteration, with fleet-wide counts — the barrier serialises
+	// iterations across shards, which per-shard hooks deliberately
+	// don't. Runs on the engine goroutine.
+	OnIteration IterationFunc
+
+	// Telemetry mirrors the run into a metrics registry, fleet-wide:
+	// one registry, the same counters and histograms the serial
+	// collector would book (per-shard numbers live in ShardStats).
+	Telemetry *telemetry.Registry
+
+	// QueueDepth bounds how many iterations a shard may lag behind the
+	// scheduler before the engine chain blocks on it (backpressure).
+	// Zero means 2. Irrelevant when OnIteration is set, which already
+	// barriers every iteration.
+	QueueDepth int
+
+	stats      Stats
+	shardStats []Stats
+	tel        collectorTelemetry
+
+	machines []string // concatenation of shard machine lists
+	shardOf  []int    // global machine index -> shard
+	localOf  []int    // global machine index -> index within its shard
+	begin    func(e *sim.Engine, id string) (AppendProbeJob, error)
+
+	chans []chan *shardBatch
+	done  sync.WaitGroup
+	pool  sync.Pool
+}
+
+// Stats returns the fleet-wide run statistics — the same numbers the
+// serial collector would report. Call after the engine run finishes.
+func (c *ShardedCollector) Stats() Stats { return c.stats }
+
+// ShardStats returns per-shard statistics. Attempts/Samples are
+// shard-local; Iterations/Skipped are coordinator-level (every shard
+// participates in every iteration) and repeat the fleet-wide values.
+// SumShardStats folds them back into Stats().
+func (c *ShardedCollector) ShardStats() []Stats {
+	out := make([]Stats, len(c.shardStats))
+	for i, s := range c.shardStats {
+		s.Iterations = c.stats.Iterations
+		s.Skipped = c.stats.Skipped
+		out[i] = s
+	}
+	return out
+}
+
+// SumShardStats aggregates per-shard statistics into the fleet-wide
+// view: additive counters sum, coordinator-level counters (Iterations,
+// Skipped) are common to all shards and taken from the first. The
+// validate suite asserts SumShardStats(ShardStats()) == Stats().
+func SumShardStats(shards []Stats) Stats {
+	var out Stats
+	if len(shards) == 0 {
+		return out
+	}
+	out.Iterations = shards[0].Iterations
+	out.Skipped = shards[0].Skipped
+	for _, s := range shards {
+		out.Attempts += s.Attempts
+		out.Samples += s.Samples
+		out.Retries += s.Retries
+		out.BreakerSkipped += s.BreakerSkipped
+		out.BreakerOpens += s.BreakerOpens
+	}
+	return out
+}
+
+// Install validates the configuration, starts the shard goroutines and
+// schedules the collection loop on the engine from start to end. The
+// caller must call Finish after the engine run to drain and join the
+// shards before reading sinks or stats.
+func (c *ShardedCollector) Install(eng *sim.Engine, start, end time.Time) error {
+	if len(c.Shards) == 0 {
+		return fmt.Errorf("ddc: sharded collector with no shards")
+	}
+	total := 0
+	for _, sh := range c.Shards {
+		total += len(sh.Machines)
+	}
+	c.machines = make([]string, 0, total)
+	c.shardOf = make([]int, 0, total)
+	c.localOf = make([]int, 0, total)
+	seen := make(map[string]int, total)
+	for s, sh := range c.Shards {
+		for l, id := range sh.Machines {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("ddc: machine %s assigned to shards %d and %d (shards must partition the fleet)", id, prev, s)
+			}
+			seen[id] = s
+			c.machines = append(c.machines, id)
+			c.shardOf = append(c.shardOf, s)
+			c.localOf = append(c.localOf, l)
+		}
+	}
+	cfg := c.Cfg
+	cfg.Machines = c.machines
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	switch x := c.Exec.(type) {
+	case AtExecutor:
+		c.begin = func(e *sim.Engine, id string) (AppendProbeJob, error) {
+			return x.BeginAppendAt(id, e.Now())
+		}
+	case AppendDeferredExecutor:
+		c.begin = func(_ *sim.Engine, id string) (AppendProbeJob, error) {
+			return x.BeginAppend(id)
+		}
+	case DeferredExecutor:
+		c.begin = func(_ *sim.Engine, id string) (AppendProbeJob, error) {
+			pj, err := x.Begin(id)
+			if pj == nil {
+				return nil, err
+			}
+			return func(dst []byte) []byte { return pj() }, err
+		}
+	default:
+		return fmt.Errorf("ddc: sharded collection needs a deferred-capable executor (AtExecutor, BeginAppend or Begin); %T only executes synchronously", c.Exec)
+	}
+
+	c.tel = newCollectorTelemetry(c.Telemetry)
+	c.shardStats = make([]Stats, len(c.Shards))
+
+	depth := c.QueueDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	c.chans = make([]chan *shardBatch, len(c.Shards))
+	for s := range c.Shards {
+		ch := make(chan *shardBatch, depth)
+		c.chans[s] = ch
+		c.done.Add(1)
+		go c.shardWorker(s, ch)
+	}
+
+	iter := 0
+	for at := start; at.Before(end); at = at.Add(c.Cfg.Period) {
+		at := at
+		thisIter := iter
+		iter++
+		if c.Cfg.inOutage(at) {
+			c.stats.Skipped++
+			c.tel.iterationsSkipped.Inc()
+			continue
+		}
+		eng.At(at, "ddc-iteration", func(e *sim.Engine) {
+			c.runIteration(e, thisIter, at)
+		})
+	}
+	return nil
+}
+
+// Finish drains the shard queues and joins the shard goroutines. Safe to
+// call more than once. Until Finish returns, per-shard sinks may still
+// be receiving commits.
+func (c *ShardedCollector) Finish() {
+	if c.chans == nil {
+		return
+	}
+	for _, ch := range c.chans {
+		close(ch)
+	}
+	c.chans = nil
+	c.done.Wait()
+}
+
+// runIteration is the serial scheduling chain — the exact structure of
+// the serial collector's deferred iteration (outage check already done
+// in Install): one event per probe, each delayed by the previous probe's
+// latency, booking accounting at the probe's scheduled instant. Jobs
+// land in per-shard batches instead of one fleet-wide slice; the final
+// event dispatches the batches to the shard goroutines.
+func (c *ShardedCollector) runIteration(eng *sim.Engine, iter int, start time.Time) {
+	c.stats.Iterations++
+	c.tel.iterations.Inc()
+	batches := make([]*shardBatch, len(c.Shards))
+	for s := range batches {
+		batches[s] = c.newBatch(len(c.Shards[s].Machines), iter, start)
+	}
+	var step func(e *sim.Engine, idx int)
+	step = func(e *sim.Engine, idx int) {
+		if idx >= len(c.machines) {
+			c.dispatch(e, iter, start, batches)
+			return
+		}
+		id := c.machines[idx]
+		job, err := c.begin(e, id)
+		s := c.shardOf[idx]
+		b := batches[s]
+		l := c.localOf[idx]
+		b.jobs[l], b.errs[l] = job, err
+		if err == nil {
+			b.responded++
+		}
+		ss := &c.shardStats[s]
+		ss.Attempts++
+		if err == nil {
+			ss.Samples++
+		}
+		lat := accountProbe(&c.Cfg, &c.stats, &c.tel, id, iter, err)
+		e.After(lat, "ddc-probe", func(e2 *sim.Engine) { step(e2, idx+1) })
+	}
+	step(eng, 0)
+}
+
+// dispatch hands the iteration's batches to the shard goroutines. With a
+// global OnIteration hook the engine chain waits for every shard to
+// commit (the fleet-wide barrier); otherwise shards may pipeline up to
+// QueueDepth iterations behind the scheduler.
+func (c *ShardedCollector) dispatch(e *sim.Engine, iter int, start time.Time, batches []*shardBatch) {
+	end := e.Now()
+	c.tel.iterationDuration.Observe(end.Sub(start))
+	responded := 0
+	for _, b := range batches {
+		responded += b.responded
+	}
+	var wg *sync.WaitGroup
+	if c.OnIteration != nil {
+		wg = &sync.WaitGroup{}
+		wg.Add(len(batches))
+	}
+	for s, b := range batches {
+		b.end = end
+		b.wg = wg
+		c.chans[s] <- b
+	}
+	if wg != nil {
+		wg.Wait()
+		c.OnIteration(IterationInfo{
+			Iter: iter, Start: start, End: end,
+			Attempted: len(c.machines), Responded: responded,
+			Probes: len(c.machines),
+		})
+	}
+}
+
+// shardWorker is one shard's goroutine: render each job into the
+// shard's reusable buffer, hand the report to the shard's Post, fire the
+// shard's OnIteration — the downstream half of the serial collector's
+// iteration, shard-locally.
+func (c *ShardedCollector) shardWorker(s int, ch chan *shardBatch) {
+	defer c.done.Done()
+	sh := &c.Shards[s]
+	rb := getReportBuf()
+	defer putReportBuf(rb)
+	for b := range ch {
+		for i, job := range b.jobs {
+			var out []byte
+			if job != nil {
+				out = job(rb.b[:0])
+				rb.b = out[:0]
+			}
+			if sh.Post != nil {
+				sh.Post(b.iter, sh.Machines[i], out, b.errs[i])
+			}
+		}
+		if sh.OnIteration != nil {
+			sh.OnIteration(IterationInfo{
+				Iter: b.iter, Start: b.start, End: b.end,
+				Attempted: len(sh.Machines), Responded: b.responded,
+				Probes: len(sh.Machines),
+			})
+		}
+		if b.wg != nil {
+			b.wg.Done()
+		}
+		c.putBatch(b)
+	}
+}
+
+// newBatch rents a batch sized for n jobs from the pool.
+func (c *ShardedCollector) newBatch(n, iter int, start time.Time) *shardBatch {
+	b, _ := c.pool.Get().(*shardBatch)
+	if b == nil {
+		b = &shardBatch{}
+	}
+	if cap(b.jobs) < n {
+		b.jobs = make([]AppendProbeJob, n)
+		b.errs = make([]error, n)
+	} else {
+		b.jobs = b.jobs[:n]
+		b.errs = b.errs[:n]
+		for i := range b.jobs {
+			b.jobs[i], b.errs[i] = nil, nil
+		}
+	}
+	b.iter, b.start, b.end = iter, start, time.Time{}
+	b.responded, b.wg = 0, nil
+	return b
+}
+
+func (c *ShardedCollector) putBatch(b *shardBatch) { c.pool.Put(b) }

@@ -1,0 +1,359 @@
+package ddc
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"winlab/internal/machine"
+	"winlab/internal/sim"
+	"winlab/internal/trace"
+)
+
+// TestPartitionNProperty: for every fleet size and shard count
+// (including N > machines and ragged splits), the partition covers the
+// fleet exactly once — concatenation equals the input, no part empty,
+// and part sizes differ by at most one.
+func TestPartitionNProperty(t *testing.T) {
+	for size := 0; size <= 20; size++ {
+		ids := make([]string, size)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("m%02d", i)
+		}
+		for n := 1; n <= 16; n++ {
+			parts := PartitionN(ids, n)
+			if size == 0 {
+				if parts != nil {
+					t.Fatalf("size 0 n %d: non-nil partition", n)
+				}
+				continue
+			}
+			want := n
+			if want > size {
+				want = size
+			}
+			if len(parts) != want {
+				t.Fatalf("size %d n %d: %d parts, want %d", size, n, len(parts), want)
+			}
+			var concat []string
+			min, max := size, 0
+			for _, p := range parts {
+				if len(p) == 0 {
+					t.Fatalf("size %d n %d: empty part", size, n)
+				}
+				if len(p) < min {
+					min = len(p)
+				}
+				if len(p) > max {
+					max = len(p)
+				}
+				concat = append(concat, p...)
+			}
+			if !reflect.DeepEqual(concat, ids) {
+				t.Fatalf("size %d n %d: concatenation is not the fleet: %v", size, n, concat)
+			}
+			if max-min > 1 {
+				t.Fatalf("size %d n %d: ragged beyond one (%d..%d)", size, n, min, max)
+			}
+		}
+	}
+}
+
+// TestPartitionLabAlignedProperty: same exactly-once coverage, plus the
+// lab-alignment contract — no contiguous lab run is split across parts.
+func TestPartitionLabAlignedProperty(t *testing.T) {
+	// Lab layouts: runs of machines per lab, including degenerate shapes.
+	layouts := [][]int{
+		{1}, {5}, {1, 1, 1}, {3, 1, 4, 1, 5}, {10, 1, 1}, {1, 1, 10},
+		{2, 2, 2, 2, 2, 2, 2, 2}, {7, 7, 7}, {1, 2, 3, 4, 5, 6},
+	}
+	for li, layout := range layouts {
+		var infos []trace.MachineInfo
+		for lab, count := range layout {
+			for i := 0; i < count; i++ {
+				infos = append(infos, trace.MachineInfo{
+					ID:  fmt.Sprintf("l%02d-m%02d", lab, i),
+					Lab: fmt.Sprintf("L%02d", lab),
+				})
+			}
+		}
+		for n := 1; n <= 16; n++ {
+			parts := PartitionLabAligned(infos, n)
+			if len(parts) == 0 || len(parts) > n {
+				t.Fatalf("layout %d n %d: %d parts", li, n, len(parts))
+			}
+			var concat []trace.MachineInfo
+			labPart := map[string]int{}
+			for pi, p := range parts {
+				if len(p) == 0 {
+					t.Fatalf("layout %d n %d: empty part", li, n)
+				}
+				concat = append(concat, p...)
+				for _, mi := range p {
+					if prev, ok := labPart[mi.Lab]; ok && prev != pi {
+						t.Fatalf("layout %d n %d: lab %s split across parts %d and %d", li, n, mi.Lab, prev, pi)
+					}
+					labPart[mi.Lab] = pi
+				}
+			}
+			if !reflect.DeepEqual(concat, infos) {
+				t.Fatalf("layout %d n %d: concatenation is not the fleet", li, n)
+			}
+			if n >= len(layout) && len(parts) != len(layout) {
+				t.Fatalf("layout %d n %d: %d parts, want one per lab (%d)", li, n, len(parts), len(layout))
+			}
+		}
+	}
+}
+
+// shardedFixtureFleet builds the same 3-machine fleet as
+// runSimCollection: M1/M3 up, M2 never powered on.
+func shardedFixtureFleet() multiSource {
+	src := multiSource{ms: map[string]*machine.Machine{}}
+	for _, id := range []string{"M1", "M3"} {
+		m := newMachine(id)
+		m.PowerOn(t0.Add(-time.Hour))
+		src.ms[id] = m
+	}
+	src.ms["M2"] = newMachine("M2")
+	return src
+}
+
+// TestShardedCollectorMatchesSerial is the tentpole identity contract at
+// unit scale: a 2-shard run over per-shard sinks, merged with
+// MergeSharded, must reproduce the serial collector's dataset and
+// fleet-wide stats, and SumShardStats must fold the per-shard stats back
+// into the fleet-wide ones. (Seed-scale identity is asserted by
+// internal/validate's shard arms.)
+func TestShardedCollectorMatchesSerial(t *testing.T) {
+	period := 15 * time.Minute
+	end := t0.Add(46 * time.Minute)
+	mkCfg := func() Config {
+		// Twin deterministic latency schedules: latency depends only on
+		// draw order, which the identity argument says is shared.
+		okN, failN := 0, 0
+		return Config{
+			Period: period,
+			LatencyOK: func() time.Duration {
+				okN++
+				return time.Second + time.Duration(okN)*7*time.Millisecond
+			},
+			LatencyFail: func() time.Duration {
+				failN++
+				return 4*time.Second + time.Duration(failN)*13*time.Millisecond
+			},
+			Outages: []Outage{{Start: t0.Add(15 * time.Minute), End: t0.Add(16 * time.Minute)}},
+		}
+	}
+
+	// Serial reference.
+	serialSrc := shardedFixtureFleet()
+	serialEng := sim.New(t0)
+	serialSink := NewDatasetSink(t0, end, period, nil)
+	cfg := mkCfg()
+	cfg.Machines = []string{"M1", "M2", "M3"}
+	serial := &SimCollector{
+		Cfg:  cfg,
+		Exec: &Direct{Source: serialSrc, Now: serialEng.Now},
+		Post: serialSink.Post,
+	}
+	serial.OnIteration = serialSink.OnIteration
+	if err := serial.Install(serialEng, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	serialEng.Run()
+	serialDS, serr := serialSink.Dataset()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+
+	// Sharded run: M1+M2 on shard 0, M3 on shard 1, each with its own
+	// sink; a global OnIteration collecting fleet-wide infos.
+	shSrc := shardedFixtureFleet()
+	shEng := sim.New(t0)
+	sinks := []*DatasetSink{
+		NewDatasetSink(t0, end, period, nil),
+		NewDatasetSink(t0, end, period, nil),
+	}
+	var infos []IterationInfo
+	coll := &ShardedCollector{
+		Cfg:  mkCfg(),
+		Exec: &Direct{Source: shSrc, Now: shEng.Now},
+		Shards: []ShardSpec{
+			{Machines: []string{"M1", "M2"}, Post: sinks[0].Post, OnIteration: sinks[0].OnIteration},
+			{Machines: []string{"M3"}, Post: sinks[1].Post, OnIteration: sinks[1].OnIteration},
+		},
+		OnIteration: func(info IterationInfo) { infos = append(infos, info) },
+	}
+	if err := coll.Install(shEng, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	shEng.Run()
+	coll.Finish()
+
+	shardDS := make([]*trace.Dataset, len(sinks))
+	for i, s := range sinks {
+		ds, err := s.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardDS[i] = ds
+	}
+	merged, err := trace.MergeSharded(shardDS...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDS.SortSamples()
+	if len(merged.Samples) == 0 {
+		t.Fatal("degenerate sharded run: no samples")
+	}
+	if !reflect.DeepEqual(merged.Samples, serialDS.Samples) {
+		t.Error("merged shard samples differ from serial run")
+	}
+	if !reflect.DeepEqual(merged.Iterations, serialDS.Iterations) {
+		t.Errorf("merged iterations differ:\nsharded %+v\nserial  %+v", merged.Iterations, serialDS.Iterations)
+	}
+	if !reflect.DeepEqual(coll.Stats(), serial.Stats()) {
+		t.Errorf("stats differ:\nsharded %+v\nserial  %+v", coll.Stats(), serial.Stats())
+	}
+	if got := SumShardStats(coll.ShardStats()); !reflect.DeepEqual(got, coll.Stats()) {
+		t.Errorf("SumShardStats != Stats:\nsum   %+v\ntotal %+v", got, coll.Stats())
+	}
+	// Global OnIteration saw every run iteration with fleet-wide counts.
+	if len(infos) != serial.Stats().Iterations {
+		t.Fatalf("global OnIteration fired %d times, want %d", len(infos), serial.Stats().Iterations)
+	}
+	for _, info := range infos {
+		if info.Attempted != 3 || info.Responded != 2 {
+			t.Errorf("iteration %d: attempted %d responded %d, want 3/2", info.Iter, info.Attempted, info.Responded)
+		}
+	}
+}
+
+// pureFake is a minimal PureSource: state is a pure function of
+// (id, instant), so snapshots may run on any goroutine.
+type pureFake struct{ down map[string]bool }
+
+func (s pureFake) Snapshot(id string, at time.Time) (machine.Snapshot, bool) {
+	if s.down[id] {
+		return machine.Snapshot{}, false
+	}
+	return machine.Snapshot{
+		Time: at, ID: id, Lab: "L01",
+		CPUModel: "P4", CPUGHz: 2.4, RAMMB: 512, DiskGB: 74.5, Serial: "D-" + id,
+		BootTime: t0.Add(-time.Hour), Uptime: at.Sub(t0.Add(-time.Hour)),
+		CPUIdle: at.Sub(t0.Add(-time.Hour)) / 2, FreeDiskGB: 30,
+		PowerCycles: 12, PowerOnHours: 400,
+	}, true
+}
+
+func (s pureFake) Reachable(id string, at time.Time) bool { return !s.down[id] }
+
+// TestPureDirectSharded drives the AtExecutor path (reachability decided
+// on the scheduling chain, snapshot deferred to the shard goroutine) and
+// checks it against the serial collector over the same pure source.
+func TestPureDirectSharded(t *testing.T) {
+	period := 15 * time.Minute
+	end := t0.Add(46 * time.Minute)
+	src := pureFake{down: map[string]bool{"M2": true}}
+	ids := []string{"M1", "M2", "M3", "M4", "M5"}
+
+	serialEng := sim.New(t0)
+	serialSink := NewDatasetSink(t0, end, period, nil)
+	serial := &SimCollector{
+		Cfg:  Config{Machines: ids, Period: period},
+		Exec: &Direct{Source: src, Now: serialEng.Now},
+		Post: serialSink.Post,
+	}
+	serial.OnIteration = serialSink.OnIteration
+	if err := serial.Install(serialEng, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	serialEng.Run()
+	serialDS, err := serialSink.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shEng := sim.New(t0)
+	parts := PartitionN(ids, 3)
+	sinks := make([]*DatasetSink, len(parts))
+	shards := make([]ShardSpec, len(parts))
+	for i, p := range parts {
+		sinks[i] = NewDatasetSink(t0, end, period, nil)
+		shards[i] = ShardSpec{Machines: p, Post: sinks[i].Post, OnIteration: sinks[i].OnIteration}
+	}
+	coll := &ShardedCollector{
+		Cfg:    Config{Period: period},
+		Exec:   &PureDirect{Source: src, Now: shEng.Now},
+		Shards: shards,
+	}
+	if err := coll.Install(shEng, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	shEng.Run()
+	coll.Finish()
+
+	shardDS := make([]*trace.Dataset, len(sinks))
+	for i, s := range sinks {
+		if shardDS[i], err = s.Dataset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := trace.MergeSharded(shardDS...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDS.SortSamples()
+	if len(merged.Samples) != 4*serial.Stats().Iterations {
+		t.Fatalf("sample count %d, want %d", len(merged.Samples), 4*serial.Stats().Iterations)
+	}
+	if !reflect.DeepEqual(merged.Samples, serialDS.Samples) {
+		t.Error("PureDirect sharded samples differ from serial Direct run")
+	}
+	if !reflect.DeepEqual(merged.Iterations, serialDS.Iterations) {
+		t.Error("PureDirect sharded iterations differ from serial Direct run")
+	}
+}
+
+// TestShardedCollectorRejections pins the Install-time guard rails.
+func TestShardedCollectorRejections(t *testing.T) {
+	eng := sim.New(t0)
+	end := t0.Add(time.Hour)
+
+	// No shards.
+	c := &ShardedCollector{Cfg: Config{Period: time.Minute}}
+	if err := c.Install(eng, t0, end); err == nil {
+		t.Error("no shards accepted")
+	}
+
+	// Duplicate machine across shards.
+	c = &ShardedCollector{
+		Cfg:  Config{Period: time.Minute},
+		Exec: &Direct{Source: shardedFixtureFleet(), Now: eng.Now},
+		Shards: []ShardSpec{
+			{Machines: []string{"M1", "M2"}},
+			{Machines: []string{"M2"}},
+		},
+	}
+	err := c.Install(eng, t0, end)
+	if err == nil || !strings.Contains(err.Error(), "M2") {
+		t.Errorf("duplicate machine: err = %v", err)
+	}
+
+	// Synchronous-only executor (the fault injector's shape).
+	c = &ShardedCollector{
+		Cfg:    Config{Period: time.Minute},
+		Exec:   syncOnlyExec{},
+		Shards: []ShardSpec{{Machines: []string{"M1"}}},
+	}
+	if err := c.Install(eng, t0, end); err == nil {
+		t.Error("synchronous-only executor accepted")
+	}
+}
+
+type syncOnlyExec struct{}
+
+func (syncOnlyExec) Exec(string) ([]byte, error) { return nil, ErrUnreachable }

@@ -218,24 +218,32 @@ func (c *SimCollector) runIteration(eng *sim.Engine, iter int, start time.Time) 
 // the sequential and the deferred paths call it at the probe's scheduled
 // instant, so counters, histograms and spans are identical either way.
 func (c *SimCollector) accountProbe(id string, iter int, err error) time.Duration {
-	c.stats.Attempts++
-	c.tel.probes.Inc()
+	return accountProbe(&c.Cfg, &c.stats, &c.tel, id, iter, err)
+}
+
+// accountProbe is the accounting step shared by SimCollector and
+// ShardedCollector — one function, so the sharded path's fleet-wide
+// stats and telemetry are identical to the serial collector's by
+// construction, not by parallel maintenance.
+func accountProbe(cfg *Config, stats *Stats, tel *collectorTelemetry, id string, iter int, err error) time.Duration {
+	stats.Attempts++
+	tel.probes.Inc()
 	var lat time.Duration
 	if err != nil {
-		lat = c.Cfg.latFail()
-		c.tel.failures.Inc()
+		lat = cfg.latFail()
+		tel.failures.Inc()
 	} else {
-		lat = c.Cfg.latOK()
-		c.stats.Samples++
-		c.tel.samples.Inc()
+		lat = cfg.latOK()
+		stats.Samples++
+		tel.samples.Inc()
 	}
-	c.tel.probeDuration.Observe(lat)
-	if c.tel.spans != nil {
+	tel.probeDuration.Observe(lat)
+	if tel.spans != nil {
 		outcome := telemetry.OutcomeOK
 		if err != nil {
 			outcome = telemetry.OutcomeError
 		}
-		c.tel.span(id, iter, 1, lat, outcome, err)
+		tel.span(id, iter, 1, lat, outcome, err)
 	}
 	return lat
 }

@@ -66,6 +66,17 @@ type Config struct {
 	// detector's event ring (and its telemetry registry, if any). The
 	// caller reads results via Detect.Ring().
 	Detect *anomaly.Detectors
+
+	// Shards > 1 partitions the fleet across that many coordinator
+	// shards (lab-aligned, see ddc.PartitionLabAligned): probe scheduling
+	// stays one serial chain, but rendering, parsing and sink commits run
+	// on one goroutine per shard against a per-shard sink. The merged
+	// dataset and the fleet-wide collector stats are identical to an
+	// unsharded run (internal/validate's shard arms); the per-shard
+	// datasets and stats are additionally exposed on the Result.
+	// Incompatible with Inject (fault injection decides outcomes at
+	// execution time, which the deferred scheduling step cannot defer).
+	Shards int
 }
 
 // Default returns the configuration reproducing the paper's experiment.
@@ -93,6 +104,14 @@ type Result struct {
 	Fleet     *lab.Fleet      // ground-truth power/session logs live here
 	Model     *behavior.Model // behaviour diagnostics (boots, forgets, ...)
 	Collector ddc.Stats
+
+	// Sharded runs (Config.Shards > 1) also expose the per-shard view:
+	// ShardDatasets[i] is shard i's own dataset (Dataset is their
+	// MergeSharded union) and ShardStats[i] its collection stats
+	// (ddc.SumShardStats folds them back into Collector). Nil for
+	// unsharded runs.
+	ShardDatasets []*trace.Dataset
+	ShardStats    []ddc.Stats
 }
 
 // Run executes the full experiment.
@@ -105,6 +124,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := cfg.Behavior.Validate(); err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
 	}
 	start, end := cfg.Start, cfg.End()
 

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"winlab/internal/behavior"
+	"winlab/internal/ddc"
+	"winlab/internal/lab"
+	"winlab/internal/rng"
+	"winlab/internal/sim"
+	"winlab/internal/trace"
+)
+
+// runSharded is Run's Shards > 1 path: the same fleet, model, outages
+// and latency schedule, but collection goes through ddc.ShardedCollector
+// with a lab-aligned partition and one DatasetSink per shard. The probe
+// schedule — snapshot instants, latency draw order, outage windows — is
+// identical to the serial path by construction (one serial scheduling
+// chain, same RNG streams), so the merged dataset and fleet-wide stats
+// reproduce the unsharded run exactly; internal/validate's shard arms
+// assert this on the doctor seeds.
+//
+// Anomaly detection composes with sharding under two documented rules:
+//
+//   - shard boundaries are lab-aligned (ddc.PartitionLabAligned), so a
+//     lab's samples all flow through one shard goroutine and reach the
+//     detectors in the serial order — the per-lab detector view stays
+//     coherent. Sample taps from different shards interleave across
+//     labs, so cross-lab *event order* may differ from a serial run,
+//     but the event set does not (TestShardedDetectCoherent).
+//   - iteration records are fed to the detectors once, fleet-wide, from
+//     the collector's global end-of-iteration barrier (not per shard,
+//     which would multiply-count responded machines). The barrier fires
+//     after every shard committed the iteration, preserving the serial
+//     "samples before their iteration record" ordering. The detector
+//     iteration feed carries no parse-error count (detectors ignore it;
+//     per-shard sinks still book ParseErrors into their own records).
+func runSharded(cfg Config) (*Result, error) {
+	if len(cfg.Inject) > 0 {
+		return nil, fmt.Errorf("experiment: Shards and Inject are incompatible: the fault executor decides outcomes at execution time, which the sharded collector's deferred scheduling step cannot defer")
+	}
+	start, end := cfg.Start, cfg.End()
+
+	fleet := lab.Build(cfg.Labs, cfg.Seed, cfg.DiskLife)
+	model := behavior.NewModel(cfg.Behavior, fleet)
+	eng := sim.New(start)
+	model.Install(eng, start, end)
+
+	infos := make([]trace.MachineInfo, 0, fleet.Size())
+	for _, m := range fleet.Machines {
+		infos = append(infos, trace.MachineInfo{
+			ID: m.ID, Lab: m.Lab, RAMMB: m.HW.RAMMB, DiskGB: m.HW.DiskGB,
+			IntIndex: m.HW.IntIndex, FPIndex: m.HW.FPIndex,
+		})
+	}
+
+	// detectMu serialises the detector feed: sample taps run on shard
+	// goroutines, the iteration feed on the engine goroutine.
+	var detectMu sync.Mutex
+	if cfg.Detect != nil {
+		cfg.Detect.SetMachines(infos)
+	}
+
+	parts := ddc.PartitionLabAligned(infos, cfg.Shards)
+	sinks := make([]*ddc.DatasetSink, len(parts))
+	shards := make([]ddc.ShardSpec, len(parts))
+	for i, part := range parts {
+		sink := ddc.NewDatasetSink(start, end, cfg.Period, part).WithTelemetry(cfg.Telemetry)
+		if cfg.Detect != nil {
+			sink.Tap(func(s *trace.Sample) {
+				detectMu.Lock()
+				cfg.Detect.Sample(s)
+				detectMu.Unlock()
+			}, nil)
+		}
+		ids := make([]string, len(part))
+		for j, mi := range part {
+			ids[j] = mi.ID
+		}
+		sinks[i] = sink
+		shards[i] = ddc.ShardSpec{Machines: ids, Post: sink.Post, OnIteration: sink.OnIteration}
+	}
+
+	lat := rng.Derive(cfg.Seed, "latency")
+	coll := &ddc.ShardedCollector{
+		Telemetry: cfg.Telemetry,
+		Cfg: ddc.Config{
+			Period: cfg.Period,
+			LatencyOK: func() time.Duration {
+				return time.Duration(lat.Uniform(float64(500*time.Millisecond), float64(2500*time.Millisecond)))
+			},
+			LatencyFail: func() time.Duration {
+				return time.Duration(lat.Uniform(float64(2*time.Second), float64(6*time.Second)))
+			},
+			Outages: GenerateOutages(cfg),
+		},
+		Exec:   &ddc.Direct{Source: lab.Source{Fleet: fleet}, Now: eng.Now},
+		Shards: shards,
+	}
+	if cfg.Detect != nil {
+		coll.OnIteration = func(info ddc.IterationInfo) {
+			detectMu.Lock()
+			cfg.Detect.Iteration(trace.Iteration{
+				Iter: info.Iter, Start: info.Start, End: info.End,
+				Attempted: info.Attempted, Responded: info.Responded,
+			})
+			detectMu.Unlock()
+		}
+	}
+	if err := coll.Install(eng, start, end); err != nil {
+		return nil, err
+	}
+
+	eng.RunUntil(end)
+	coll.Finish()
+
+	shardDS := make([]*trace.Dataset, len(sinks))
+	for i, sink := range sinks {
+		ds, err := sink.Dataset()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: shard %d: corrupt probe output: %w", i, err)
+		}
+		ds.SortSamples()
+		shardDS[i] = ds
+	}
+	merged, err := trace.MergeSharded(shardDS...)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return &Result{
+		Config:        cfg,
+		Dataset:       merged,
+		Fleet:         fleet,
+		Model:         model,
+		Collector:     coll.Stats(),
+		ShardDatasets: shardDS,
+		ShardStats:    coll.ShardStats(),
+	}, nil
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"winlab/internal/anomaly"
+	"winlab/internal/ddc"
+	"winlab/internal/trace/check"
+)
+
+// TestRunShardedMatchesSerial is the end-to-end identity contract: a
+// Shards=3 run over the paper fleet must reproduce the serial run's
+// dataset sample for sample, iteration for iteration, and its collector
+// stats — and the per-shard stats must fold back into the fleet-wide
+// ones. (Seeds 1–3 at full length are covered by internal/validate's
+// shard arms under make doctor; this is the fast in-package gate.)
+func TestRunShardedMatchesSerial(t *testing.T) {
+	cfg := shortConfig(1)
+	cfg.Days = 2
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 3
+	sharded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sharded.ShardDatasets) != 3 || len(sharded.ShardStats) != 3 {
+		t.Fatalf("shard views: %d datasets, %d stats", len(sharded.ShardDatasets), len(sharded.ShardStats))
+	}
+	if diff := check.DiffDatasets(serial.Dataset, sharded.Dataset); diff != "" {
+		t.Errorf("sharded dataset differs from serial: %s", diff)
+	}
+	if !reflect.DeepEqual(serial.Collector, sharded.Collector) {
+		t.Errorf("collector stats differ:\nserial  %+v\nsharded %+v", serial.Collector, sharded.Collector)
+	}
+	if got := ddc.SumShardStats(sharded.ShardStats); !reflect.DeepEqual(got, sharded.Collector) {
+		t.Errorf("SumShardStats != Collector:\nsum   %+v\ntotal %+v", got, sharded.Collector)
+	}
+	// Per-shard datasets really are a partition: no shard is the fleet.
+	for i, ds := range sharded.ShardDatasets {
+		if n := len(ds.Machines); n == 0 || n >= len(sharded.Dataset.Machines) {
+			t.Errorf("shard %d has %d machines", i, n)
+		}
+	}
+}
+
+// TestRunShardedRejectsInject pins the documented incompatibility.
+func TestRunShardedRejectsInject(t *testing.T) {
+	cfg := shortConfig(1)
+	cfg.Days = 1
+	cfg.Shards = 2
+	cfg.Inject = []InjectedAnomaly{{
+		Kind: anomaly.KindSMARTAnomaly, Machines: []string{"x"},
+		Start: cfg.Start, End: cfg.End(), CycleJump: 100,
+	}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("sharded run with injection accepted")
+	}
+}
+
+// TestShardedDetectCoherent runs the streaming anomaly detectors under
+// both collection modes. Lab-aligned shard boundaries keep each lab's
+// sample stream in serial order, so the detected event *set* must match
+// exactly; only cross-lab interleaving (and hence ring order) may
+// differ. Events are compared sorted by identity.
+func TestShardedDetectCoherent(t *testing.T) {
+	run := func(shards int) []anomaly.Event {
+		cfg := shortConfig(2)
+		cfg.Days = 3
+		cfg.Shards = shards
+		cfg.Detect = anomaly.New(anomaly.Config{}, nil)
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		evs := cfg.Detect.Ring().Snapshot()
+		sort.Slice(evs, func(a, b int) bool {
+			x, y := evs[a], evs[b]
+			if x.Kind != y.Kind {
+				return x.Kind < y.Kind
+			}
+			if x.Machine != y.Machine {
+				return x.Machine < y.Machine
+			}
+			if x.Lab != y.Lab {
+				return x.Lab < y.Lab
+			}
+			return x.FirstIter < y.FirstIter
+		})
+		return evs
+	}
+	serial := run(0)
+	sharded := run(4)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("detector event sets differ: serial %d events, sharded %d events\nserial:  %+v\nsharded: %+v",
+			len(serial), len(sharded), serial, sharded)
+	}
+}

@@ -156,20 +156,40 @@ func (e *tbWriter) time(t time.Time, sec, ns *int64) {
 	*sec, *ns = ts, tn
 }
 
-// WriteBinary serialises the dataset in the TBv1 binary format.
-func WriteBinary(w io.Writer, d *Dataset) error {
+// binaryEncoder writes a TBv1 stream incrementally: the header, machine
+// catalogue, iteration log and declared sample count go out eagerly at
+// construction, then each writeSample appends one delta-coded sample.
+// WriteBinary is its batch client and the segment compactor
+// (MergeSegments) streams merged samples through it, so there is exactly
+// one TBv1 encode path — the writer-side mirror of BinaryCursor.
+//
+// The sample count must be known up front (TBv1 leads the S block with
+// it); flush verifies the promise was kept, because a count mismatch
+// would make the stream undecodable past the shorter side.
+type binaryEncoder struct {
+	e        *tbWriter
+	base     tbState
+	states   map[uint64]*tbState
+	declared uint64
+	written  uint64
+}
+
+// newBinaryEncoder writes the TBv1 preamble (magic, header, machine and
+// iteration blocks, sample count) and returns an encoder positioned at
+// the first sample.
+func newBinaryEncoder(w io.Writer, start, end time.Time, period time.Duration, machines []MachineInfo, iterations []Iteration, samples uint64) *binaryEncoder {
 	e := &tbWriter{w: bufio.NewWriterSize(w, ioBufSize), dict: make(map[string]uint64, 64)}
 	e.w.Write(magicTB)
 	e.w.WriteByte(tbVersion)
 
 	var hdr tbState
-	e.time(d.Start, &hdr.timeSec, &hdr.timeNs)
-	e.time(d.End, &hdr.bootSec, &hdr.bootNs) // scratch predictor; header times are near-absolute
-	e.varint(int64(d.Period))
+	e.time(start, &hdr.timeSec, &hdr.timeNs)
+	e.time(end, &hdr.bootSec, &hdr.bootNs) // scratch predictor; header times are near-absolute
+	e.varint(int64(period))
 
-	e.uvarint(uint64(len(d.Machines)))
-	for i := range d.Machines {
-		m := &d.Machines[i]
+	e.uvarint(uint64(len(machines)))
+	for i := range machines {
+		m := &machines[i]
 		e.str(m.ID)
 		e.str(m.Lab)
 		e.varint(int64(m.RAMMB))
@@ -178,9 +198,9 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 		e.f64(m.FPIndex)
 	}
 
-	e.uvarint(uint64(len(d.Iterations)))
-	prev := baseState(d.Start)
-	for _, it := range d.Iterations {
+	e.uvarint(uint64(len(iterations)))
+	prev := baseState(start)
+	for _, it := range iterations {
 		e.varint(int64(it.Iter) - prev.iter)
 		prev.iter = int64(it.Iter)
 		e.time(it.Start, &prev.timeSec, &prev.timeNs)
@@ -199,52 +219,77 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 		prev.cycles = int64(it.ParseErrors)
 	}
 
-	e.uvarint(uint64(len(d.Samples)))
-	base := baseState(d.Start)
-	states := make(map[uint64]*tbState, len(d.Machines))
-	for i := range d.Samples {
-		s := &d.Samples[i]
-		e.str(s.Machine)
-		mref := e.dict[s.Machine]
-		st := states[mref]
-		if st == nil {
-			cp := base
-			st = &cp
-			states[mref] = st
-		}
-		e.str(s.Lab)
-		e.varint(int64(s.Iter) - st.iter)
-		st.iter = int64(s.Iter)
-		e.time(s.Time, &st.timeSec, &st.timeNs)
-		e.time(s.BootTime, &st.bootSec, &st.bootNs)
-		e.varint(int64(s.Uptime) - st.uptime)
-		st.uptime = int64(s.Uptime)
-		e.varint(int64(s.CPUIdle) - st.cpuIdle)
-		st.cpuIdle = int64(s.CPUIdle)
-		e.varint(int64(s.MemLoadPct) - st.mem)
-		st.mem = int64(s.MemLoadPct)
-		e.varint(int64(s.SwapLoadPct) - st.swap)
-		st.swap = int64(s.SwapLoadPct)
-		db := math.Float64bits(s.DiskGB)
-		e.uvarint(db ^ st.diskBits)
-		st.diskBits = db
-		fb := math.Float64bits(s.FreeDiskGB)
-		e.uvarint(fb ^ st.freeBits)
-		st.freeBits = fb
-		e.varint(s.PowerCycles - st.cycles)
-		st.cycles = s.PowerCycles
-		e.varint(s.PowerOnHours - st.hours)
-		st.hours = s.PowerOnHours
-		e.varint(int64(s.SentBytes - st.sent)) // wrap-around delta
-		st.sent = s.SentBytes
-		e.varint(int64(s.RecvBytes - st.recv))
-		st.recv = s.RecvBytes
-		e.str(s.SessionUser)
-		if s.SessionUser != "" {
-			e.time(s.SessionStart, &st.sessSec, &st.sessNs)
-		}
+	e.uvarint(samples)
+	return &binaryEncoder{
+		e:        e,
+		base:     baseState(start),
+		states:   make(map[uint64]*tbState, len(machines)),
+		declared: samples,
 	}
-	return e.w.Flush()
+}
+
+// writeSample appends one sample, delta-coded against the previous
+// sample of the same machine.
+func (b *binaryEncoder) writeSample(s *Sample) {
+	e := b.e
+	e.str(s.Machine)
+	mref := e.dict[s.Machine]
+	st := b.states[mref]
+	if st == nil {
+		cp := b.base
+		st = &cp
+		b.states[mref] = st
+	}
+	e.str(s.Lab)
+	e.varint(int64(s.Iter) - st.iter)
+	st.iter = int64(s.Iter)
+	e.time(s.Time, &st.timeSec, &st.timeNs)
+	e.time(s.BootTime, &st.bootSec, &st.bootNs)
+	e.varint(int64(s.Uptime) - st.uptime)
+	st.uptime = int64(s.Uptime)
+	e.varint(int64(s.CPUIdle) - st.cpuIdle)
+	st.cpuIdle = int64(s.CPUIdle)
+	e.varint(int64(s.MemLoadPct) - st.mem)
+	st.mem = int64(s.MemLoadPct)
+	e.varint(int64(s.SwapLoadPct) - st.swap)
+	st.swap = int64(s.SwapLoadPct)
+	db := math.Float64bits(s.DiskGB)
+	e.uvarint(db ^ st.diskBits)
+	st.diskBits = db
+	fb := math.Float64bits(s.FreeDiskGB)
+	e.uvarint(fb ^ st.freeBits)
+	st.freeBits = fb
+	e.varint(s.PowerCycles - st.cycles)
+	st.cycles = s.PowerCycles
+	e.varint(s.PowerOnHours - st.hours)
+	st.hours = s.PowerOnHours
+	e.varint(int64(s.SentBytes - st.sent)) // wrap-around delta
+	st.sent = s.SentBytes
+	e.varint(int64(s.RecvBytes - st.recv))
+	st.recv = s.RecvBytes
+	e.str(s.SessionUser)
+	if s.SessionUser != "" {
+		e.time(s.SessionStart, &st.sessSec, &st.sessNs)
+	}
+	b.written++
+}
+
+// flush drains the buffered writer after verifying the declared sample
+// count was honoured.
+func (b *binaryEncoder) flush() error {
+	if b.written != b.declared {
+		return fmt.Errorf("trace: tbv1: encoder wrote %d samples, declared %d", b.written, b.declared)
+	}
+	return b.e.w.Flush()
+}
+
+// WriteBinary serialises the dataset in the TBv1 binary format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	be := newBinaryEncoder(w, d.Start, d.End, d.Period, d.Machines, d.Iterations, uint64(len(d.Samples)))
+	for i := range d.Samples {
+		be.writeSample(&d.Samples[i])
+	}
+	return be.flush()
 }
 
 // --- reader ---
@@ -635,6 +680,16 @@ func ReadAny(r io.Reader) (*Dataset, error) {
 		// Short stream that is a proper prefix of the TBv1 magic: a
 		// truncated binary trace, not a CSV (whose header starts "H,").
 		return nil, fmt.Errorf("trace: truncated TBv1 stream (%d bytes)", len(head))
+	case len(head) > 0 && head[0] == '{':
+		// A segment manifest (JSON object; CSV starts "H," and TBv1 with
+		// 'W'). Relative segment paths resolve against the working
+		// directory here — ReadFile resolves against the manifest's own
+		// directory, which is what file-based consumers want.
+		m, merr := decodeManifest(br)
+		if merr != nil {
+			return nil, merr
+		}
+		return readManifestDataset(m, ".")
 	}
 	// Read re-wraps in a bufio of the same size; bufio.NewReaderSize
 	// returns br itself, so no data is lost and nothing is re-buffered.

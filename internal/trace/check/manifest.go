@@ -1,0 +1,112 @@
+package check
+
+import (
+	"winlab/internal/trace"
+	"winlab/internal/trace/stream"
+)
+
+// KindManifestMismatch flags a segment manifest whose claims disagree
+// with the segment files it indexes, or segments that violate the
+// sharding contract (two shards claiming one machine, one shard's time
+// chunks overlapping in iteration space).
+const KindManifestMismatch Kind = "manifest-mismatch"
+
+// CheckManifest validates a segment manifest against its segment files,
+// header-deep: each segment is opened through stream.Open (gzip sniffed)
+// and only its header — bounds, period, catalogue, iteration log,
+// declared sample count — is decoded; the sample payloads are not
+// streamed, so the check is O(header) per segment and safe to run on
+// gridscale manifests. The full payload-level cross-check (sample
+// overlap, contiguity) happens in trace.MergeSegments, which refuses to
+// produce output from inconsistent segments.
+//
+// Rules:
+//
+//   - every segment file opens and decodes a TBv1 header;
+//   - segment periods equal the manifest period, segment bounds lie
+//     within the manifest bounds;
+//   - per-segment counts in the manifest (machines, samples, iterations,
+//     first/last iteration) match the segment header;
+//   - segments of *different* shards catalogue disjoint machines;
+//   - segments of the *same* shard (time chunks) have non-overlapping
+//     iteration ranges.
+func CheckManifest(m *trace.Manifest, dir string, opts Options) *Report {
+	r := &Report{limit: opts.limit()}
+	paths := m.SegmentPaths(dir)
+
+	type iterSpan struct {
+		seg    int
+		lo, hi int
+	}
+	machineSeg := map[string]int{}     // machine ID -> first shard that catalogued it
+	shardSpans := map[int][]iterSpan{} // shard -> iteration spans of its segments
+	for i, seg := range m.Segments {
+		c, err := stream.Open(paths[i])
+		if err != nil {
+			r.addf(KindManifestMismatch, "", -1, "segment %q: %v", seg.Path, err)
+			continue
+		}
+		r.Iterations += len(c.Iterations())
+		if p := c.Period(); p != m.Period() {
+			r.addf(KindManifestMismatch, "", -1, "segment %q period %v, manifest says %v", seg.Path, p, m.Period())
+		}
+		if c.Start().Before(m.Start) || c.End().After(m.End) {
+			r.addf(KindManifestMismatch, "", -1, "segment %q bounds %v..%v outside manifest bounds %v..%v",
+				seg.Path, c.Start(), c.End(), m.Start, m.End)
+		}
+		if n := len(c.Machines()); n != seg.Machines {
+			r.addf(KindManifestMismatch, "", -1, "segment %q catalogues %d machines, manifest says %d", seg.Path, n, seg.Machines)
+		}
+		if n := c.DeclaredSamples(); n != seg.Samples {
+			r.addf(KindManifestMismatch, "", -1, "segment %q declares %d samples, manifest says %d", seg.Path, n, seg.Samples)
+		}
+		iters := c.Iterations()
+		if len(iters) != seg.Iterations {
+			r.addf(KindManifestMismatch, "", -1, "segment %q has %d iteration records, manifest says %d", seg.Path, len(iters), seg.Iterations)
+		}
+		first, last := -1, -1
+		for _, it := range iters {
+			if first < 0 || it.Iter < first {
+				first = it.Iter
+			}
+			if it.Iter > last {
+				last = it.Iter
+			}
+		}
+		if first != seg.FirstIter || last != seg.LastIter {
+			r.addf(KindManifestMismatch, "", -1, "segment %q spans iterations [%d,%d], manifest says [%d,%d]",
+				seg.Path, first, last, seg.FirstIter, seg.LastIter)
+		}
+		for _, mi := range c.Machines() {
+			r.Machines++
+			if prev, ok := machineSeg[mi.ID]; ok {
+				if prevShard := m.Segments[prev].Shard; prevShard != seg.Shard {
+					r.addf(KindManifestMismatch, mi.ID, -1, "machine catalogued by shard %d (%q) and shard %d (%q); shards must partition the fleet",
+						prevShard, m.Segments[prev].Path, seg.Shard, seg.Path)
+				}
+			} else {
+				machineSeg[mi.ID] = i
+			}
+		}
+		if first >= 0 {
+			shardSpans[seg.Shard] = append(shardSpans[seg.Shard], iterSpan{seg: i, lo: first, hi: last})
+		}
+		c.Close()
+	}
+
+	// Time chunks of one shard must not overlap in iteration space —
+	// they would both claim the same probes of the same machines.
+	for _, spans := range shardSpans {
+		for a := 0; a < len(spans); a++ {
+			for b := a + 1; b < len(spans); b++ {
+				sa, sb := spans[a], spans[b]
+				if sa.lo <= sb.hi && sb.lo <= sa.hi {
+					r.addf(KindManifestMismatch, "", sa.lo, "segments %q and %q of shard %d overlap: iterations [%d,%d] vs [%d,%d]",
+						m.Segments[sa.seg].Path, m.Segments[sb.seg].Path, m.Segments[sa.seg].Shard,
+						sa.lo, sa.hi, sb.lo, sb.hi)
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"winlab/internal/trace"
+	"winlab/internal/trace/check"
+)
+
+// manifestFixture writes a 3-shard segment set derived from slices of
+// the clean corpus fixture and returns the loaded manifest plus its
+// directory.
+func manifestFixture(t *testing.T) (*trace.Manifest, string) {
+	t.Helper()
+	d := cleanDataset()
+	shards := make([]*trace.Dataset, 0, len(d.Machines))
+	for _, mi := range d.Machines {
+		s := &trace.Dataset{Start: d.Start, End: d.End, Period: d.Period,
+			Machines: []trace.MachineInfo{mi}, Iterations: d.Iterations}
+		for i := range d.Samples {
+			if d.Samples[i].Machine == mi.ID {
+				s.Samples = append(s.Samples, d.Samples[i])
+			}
+		}
+		shards = append(shards, s)
+	}
+	dir := t.TempDir()
+	mpath, err := trace.WriteSegments(dir, "run", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.ReadManifest(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dir
+}
+
+func TestCheckManifestClean(t *testing.T) {
+	m, dir := manifestFixture(t)
+	r := check.CheckManifest(m, dir, check.Options{})
+	if !r.OK() {
+		for _, v := range r.Violations {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+	if r.Machines != 2 {
+		t.Errorf("catalogued %d machines, want 2", r.Machines)
+	}
+}
+
+// TestCheckManifestMismatches tampers with one manifest claim at a time
+// and asserts each is caught as a manifest-mismatch violation.
+func TestCheckManifestMismatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *trace.Manifest)
+		want   string
+	}{
+		{"missing segment", func(m *trace.Manifest) { m.Segments[0].Path = "nope.tb" }, "nope.tb"},
+		{"wrong period", func(m *trace.Manifest) { m.PeriodNS = time.Hour }, "period"},
+		{"shrunk bounds", func(m *trace.Manifest) { m.End = m.Start }, "outside manifest bounds"},
+		{"wrong machine count", func(m *trace.Manifest) { m.Segments[1].Machines = 9 }, "manifest says 9"},
+		{"wrong sample count", func(m *trace.Manifest) { m.Segments[0].Samples += 5 }, "declares"},
+		{"wrong iteration count", func(m *trace.Manifest) { m.Segments[0].Iterations++ }, "iteration records"},
+		{"wrong iteration span", func(m *trace.Manifest) { m.Segments[0].LastIter += 3 }, "spans iterations"},
+		{"duplicate machine across shards", func(m *trace.Manifest) {
+			// Point shard 1 at shard 0's segment file: same machine, two shards.
+			m.Segments[1].Path = m.Segments[0].Path
+			m.Segments[1].Machines = m.Segments[0].Machines
+			m.Segments[1].Samples = m.Segments[0].Samples
+			m.Segments[1].Iterations = m.Segments[0].Iterations
+		}, "shards must partition the fleet"},
+		{"same-shard iteration overlap", func(m *trace.Manifest) {
+			// Declare both segments as time chunks of one shard: their
+			// iteration spans coincide, so the chunks overlap.
+			m.Segments[1].Shard = m.Segments[0].Shard
+		}, "overlap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, dir := manifestFixture(t)
+			tc.mutate(m)
+			r := check.CheckManifest(m, dir, check.Options{})
+			if r.OK() {
+				t.Fatal("tampered manifest passed")
+			}
+			found := false
+			for _, v := range r.Violations {
+				if v.Kind != check.KindManifestMismatch {
+					t.Errorf("violation kind %q, want %q", v.Kind, check.KindManifestMismatch)
+				}
+				if strings.Contains(v.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no violation mentions %q; got %v", tc.want, r.Violations)
+			}
+		})
+	}
+}

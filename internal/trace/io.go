@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -309,8 +310,8 @@ func Read(r io.Reader) (*Dataset, error) {
 }
 
 // ReadFile deserialises a dataset from a file, transparently decompressing
-// ".gz" paths. The format (CSV or TBv1) is sniffed from the content, so
-// every consumer loads either kind unchanged.
+// ".gz" paths. The format (CSV, TBv1, or a segment manifest) is sniffed
+// from the content, so every consumer loads any kind unchanged.
 func ReadFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -320,7 +321,19 @@ func ReadFile(path string) (*Dataset, error) {
 	// No explicit gzip branch: ReadAny sniffs the gzip magic in the
 	// content, so a compressed trace loads regardless of how the file is
 	// named (".gz", ".GZ", or no extension at all).
-	return ReadAny(f)
+	//
+	// A segment manifest (leading '{') is handled here rather than in
+	// ReadAny so its relative segment paths resolve against the
+	// manifest's own directory, not the working directory.
+	br := bufio.NewReaderSize(f, ioBufSize)
+	if head, _ := br.Peek(1); len(head) == 1 && head[0] == '{' {
+		m, err := decodeManifest(br)
+		if err != nil {
+			return nil, err
+		}
+		return readManifestDataset(m, filepath.Dir(path))
+	}
+	return ReadAny(br)
 }
 
 func parseSampleRow(rec []string) (Sample, error) {

@@ -37,9 +37,12 @@ func SplitAt(d *Dataset, at time.Time) (before, after *Dataset) {
 	return TimeSlice(d, d.Start, at), TimeSlice(d, at, d.End)
 }
 
-// Merge combines traces collected by different coordinators (e.g. one per
-// building) into one dataset. Periods must match; machine sets are
-// unioned (duplicate IDs must carry identical metadata); iterations are
+// Merge combines traces collected by *different coordinators* (e.g. one
+// per building) into one dataset. Periods must match; machine sets must
+// be disjoint — two coordinators each claiming the same machine is a
+// deployment error, and silently unioning their samples would interleave
+// two probe streams for one host (use MergeSharded for the shards of a
+// single coordinator, which share one iteration clock). Iterations are
 // renumbered chronologically, and samples are remapped onto the merged
 // iteration numbering.
 func Merge(ds ...*Dataset) (*Dataset, error) {
@@ -47,7 +50,7 @@ func Merge(ds ...*Dataset) (*Dataset, error) {
 		return nil, fmt.Errorf("trace: nothing to merge")
 	}
 	out := &Dataset{Period: ds[0].Period, Start: ds[0].Start, End: ds[0].End}
-	seen := map[string]MachineInfo{}
+	seen := map[string]int{}
 	type iterKey struct {
 		src  int
 		iter int
@@ -63,13 +66,10 @@ func Merge(ds ...*Dataset) (*Dataset, error) {
 		out.Start = minTime(out.Start, d.Start)
 		out.End = maxTime(out.End, d.End)
 		for _, m := range d.Machines {
-			if prev, ok := seen[m.ID]; ok {
-				if prev != m {
-					return nil, fmt.Errorf("trace: machine %s has conflicting metadata", m.ID)
-				}
-				continue
+			if src, ok := seen[m.ID]; ok {
+				return nil, fmt.Errorf("trace: merge: machine %s appears in inputs %d and %d (coordinator traces must have disjoint fleets; shards of one coordinator merge with MergeSharded)", m.ID, src, i)
 			}
-			seen[m.ID] = m
+			seen[m.ID] = i
 			out.Machines = append(out.Machines, m)
 		}
 		for _, it := range d.Iterations {
@@ -99,6 +99,82 @@ func Merge(ds ...*Dataset) (*Dataset, error) {
 		}
 	}
 	out.SortSamples()
+	return out, nil
+}
+
+// MergeSharded combines the per-shard datasets of *one* coordinator run
+// into the fleet-wide dataset. Unlike Merge, the inputs share a single
+// iteration clock: iteration numbers are kept, and records for the same
+// iteration are reconciled — starts must agree (the shards observed the
+// same sweep), Attempted/Responded/ParseErrors sum across shards, and
+// End takes the latest shard's sweep end. Machine sets must be disjoint
+// (each machine is collected by exactly one shard). The result is
+// sample-identical to what a single unsharded collector would have
+// produced, which is exactly what internal/validate's shard arms assert.
+func MergeSharded(ds ...*Dataset) (*Dataset, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	out := &Dataset{Period: ds[0].Period, Start: ds[0].Start, End: ds[0].End}
+	seen := map[string]int{}
+	logs := make([][]Iteration, 0, len(ds))
+	for i, d := range ds {
+		if d.Period != out.Period {
+			return nil, fmt.Errorf("trace: merge with mismatched periods %v and %v", out.Period, d.Period)
+		}
+		out.Start = minTime(out.Start, d.Start)
+		out.End = maxTime(out.End, d.End)
+		for _, m := range d.Machines {
+			if src, ok := seen[m.ID]; ok {
+				return nil, fmt.Errorf("trace: merge: machine %s appears in shards %d and %d (shards must partition the fleet)", m.ID, src, i)
+			}
+			seen[m.ID] = i
+			out.Machines = append(out.Machines, m)
+		}
+		logs = append(logs, d.Iterations)
+		out.Samples = append(out.Samples, d.Samples...)
+	}
+	iters, err := mergeIterationLogs(logs)
+	if err != nil {
+		return nil, err
+	}
+	out.Iterations = iters
+	out.SortSamples()
+	return out, nil
+}
+
+// MergeIterationLogs reconciles per-shard iteration logs sharing one
+// iteration clock: same-numbered records must agree on Start,
+// Attempted/Responded/ParseErrors sum, End takes the maximum. The merged
+// log is sorted by iteration number. Shared by MergeSharded, the segment
+// compactor and the shard-aware analysis driver (analysis.AllSegments)
+// so all three agree on what a fleet-wide iteration record is.
+func MergeIterationLogs(logs [][]Iteration) ([]Iteration, error) {
+	return mergeIterationLogs(logs)
+}
+
+func mergeIterationLogs(logs [][]Iteration) ([]Iteration, error) {
+	var out []Iteration
+	at := map[int]int{} // iteration number -> index in out
+	for _, log := range logs {
+		for _, it := range log {
+			i, ok := at[it.Iter]
+			if !ok {
+				at[it.Iter] = len(out)
+				out = append(out, it)
+				continue
+			}
+			prev := &out[i]
+			if !prev.Start.Equal(it.Start) {
+				return nil, fmt.Errorf("trace: merge: iteration %d starts disagree (%v vs %v); inputs do not share an iteration clock", it.Iter, prev.Start, it.Start)
+			}
+			prev.Attempted += it.Attempted
+			prev.Responded += it.Responded
+			prev.ParseErrors += it.ParseErrors
+			prev.End = maxTime(prev.End, it.End)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Iter < out[b].Iter })
 	return out, nil
 }
 

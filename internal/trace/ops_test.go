@@ -102,14 +102,65 @@ func TestMergeDisjointMachines(t *testing.T) {
 }
 
 func TestMergeSharedMachineConflict(t *testing.T) {
+	// Two coordinators each claiming a machine is a deployment error even
+	// when the metadata agrees — their probe streams would interleave.
 	a := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 512}}}
 	b := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 256}}}
 	if _, err := Merge(a, b); err == nil {
-		t.Error("conflicting metadata accepted")
+		t.Error("shared machine accepted")
 	}
 	c := &Dataset{Period: time.Minute, Machines: []MachineInfo{{ID: "X", RAMMB: 512}}}
-	if m, err := Merge(a, c); err != nil || len(m.Machines) != 1 {
-		t.Errorf("identical shared machine rejected: %v", err)
+	if _, err := Merge(a, c); err == nil {
+		t.Error("shared machine with identical metadata accepted")
+	}
+	if _, err := MergeSharded(a, c); err == nil {
+		t.Error("MergeSharded accepted overlapping shards")
+	}
+}
+
+func TestMergeSharded(t *testing.T) {
+	mk := func(id string, iters ...Iteration) *Dataset {
+		d := &Dataset{
+			Start: t0, End: t0.Add(time.Hour), Period: 15 * time.Minute,
+			Machines:   []MachineInfo{{ID: id, Lab: "L", IntIndex: 10, FPIndex: 10}},
+			Iterations: iters,
+		}
+		for _, it := range iters {
+			s := mkSample(id, it.Start, t0, 0, "")
+			s.Iter = it.Iter
+			d.Samples = append(d.Samples, s)
+		}
+		return d
+	}
+	a := mk("A1",
+		Iteration{Iter: 0, Start: t0, End: t0.Add(time.Minute), Attempted: 1, Responded: 1},
+		Iteration{Iter: 1, Start: t0.Add(15 * time.Minute), End: t0.Add(16 * time.Minute), Attempted: 1, Responded: 1})
+	b := mk("B1",
+		Iteration{Iter: 0, Start: t0, End: t0.Add(2 * time.Minute), Attempted: 1, Responded: 1},
+		Iteration{Iter: 1, Start: t0.Add(15 * time.Minute), End: t0.Add(15*time.Minute + 30*time.Second), Attempted: 1, Responded: 1})
+	m, err := MergeSharded(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Machines) != 2 || len(m.Samples) != 4 {
+		t.Fatalf("merged: %d machines, %d samples", len(m.Machines), len(m.Samples))
+	}
+	// Iteration numbers are kept and records reconciled, not renumbered.
+	if len(m.Iterations) != 2 {
+		t.Fatalf("merged iterations = %d, want 2", len(m.Iterations))
+	}
+	it0 := m.Iterations[0]
+	if it0.Iter != 0 || it0.Attempted != 2 || it0.Responded != 2 {
+		t.Errorf("iteration 0 reconciled wrong: %+v", it0)
+	}
+	if !it0.End.Equal(t0.Add(2 * time.Minute)) {
+		t.Errorf("iteration 0 end = %v, want latest shard end", it0.End)
+	}
+
+	// Shards that disagree on an iteration's start don't share a clock.
+	c := mk("C1", Iteration{Iter: 0, Start: t0.Add(time.Second), Attempted: 1})
+	if _, err := MergeSharded(a, c); err == nil {
+		t.Error("disagreeing iteration starts accepted")
 	}
 }
 

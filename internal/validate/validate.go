@@ -25,6 +25,14 @@
 //     bit-identical to analysis.All, and the sharded parallel
 //     AllStream within a documented relative tolerance (counts exact,
 //     merged floats ≤ streamTol);
+//   - the sharded collector (PR 8): experiment.Run with Shards=4
+//     reproducing the serial dataset and stats exactly, per-shard stats
+//     folding back into the fleet-wide total, the segment-file
+//     write→manifest→compact cycle yielding bytes identical to encoding
+//     the merged dataset directly, the manifest checker passing over a
+//     freshly written segment set, the shard-aware readers
+//     (trace.ReadFile on a manifest, analysis.AllSegments over unmerged
+//     segments) agreeing with the in-memory reference;
 //   - and, finally, the invariant checker itself over the collected
 //     dataset — a differential suite is pointless if both arms agree on
 //     corrupt data.
@@ -33,9 +41,11 @@ package validate
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"time"
 
 	"winlab/internal/analysis"
+	"winlab/internal/ddc"
 	"winlab/internal/experiment"
 	"winlab/internal/machine"
 	"winlab/internal/probe"
@@ -128,10 +138,89 @@ func Suite(cfg Config) []Failure {
 		add("stream/allstream-parallel", diffAllStreamApprox(r1, tb.Bytes(), cfg.Workers))
 	}
 
+	// Sharded collection arms (PR 8). The sharded collector keeps one
+	// serial scheduling chain, so its merged dataset and stats must be
+	// *exactly* the serial run's — no tolerance anywhere in this block
+	// except the final AllSegments arm, which inherits the parallel
+	// streaming epsilon (one Welford merge per segment).
+	sharded, err := runSharded(cfg, 4)
+	if err != nil {
+		add("shard/collect", err.Error())
+	} else {
+		add("shard/collect-vs-serial/dataset", check.DiffDatasets(serial.Dataset, sharded.Dataset))
+		add("shard/collect-vs-serial/stats", check.FirstDiff(serial.Collector, sharded.Collector))
+		add("shard/stats-sum", check.FirstDiff(sharded.Collector, ddc.SumShardStats(sharded.ShardStats)))
+		diffShardSegments(serial, sharded, r1, add)
+	}
+
 	if r := check.Check(serial.Dataset, check.Options{}); !r.OK() {
 		add("check/invariants", r.Err().Error())
 	}
 	return fails
+}
+
+// diffShardSegments exercises the on-disk segment cycle: per-shard TBv1
+// segment files plus manifest, header-deep manifest check, streaming
+// compaction back to one canonical trace (byte-identical to encoding
+// the merged dataset directly), the manifest-aware trace.ReadFile, and
+// analysis.AllSegments over the unmerged segments.
+func diffShardSegments(serial, sharded *experiment.Result, r1 *analysis.Results, add func(name, detail string)) {
+	dir, err := os.MkdirTemp("", "winlab-validate-segments-*")
+	if err != nil {
+		add("shard/segments", err.Error())
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	mpath, err := trace.WriteSegments(dir, "run", sharded.ShardDatasets)
+	if err != nil {
+		add("shard/segments-write", err.Error())
+		return
+	}
+	m, err := trace.ReadManifest(mpath)
+	if err != nil {
+		add("shard/segments-manifest", err.Error())
+		return
+	}
+	if r := check.CheckManifest(m, dir, check.Options{}); !r.OK() {
+		add("shard/manifest-check", r.Err().Error())
+	}
+
+	var merged bytes.Buffer
+	if err := trace.MergeSegments(&merged, m, dir); err != nil {
+		add("shard/segments-merge", err.Error())
+		return
+	}
+	var direct bytes.Buffer
+	if err := trace.WriteBinary(&direct, sharded.Dataset); err != nil {
+		add("shard/segments-encode", err.Error())
+		return
+	}
+	if !bytes.Equal(merged.Bytes(), direct.Bytes()) {
+		add("shard/segments-merge-bytes", fmt.Sprintf(
+			"compacted trace differs from direct encoding at byte %d (sizes %d vs %d)",
+			firstByteDiff(merged.Bytes(), direct.Bytes()), merged.Len(), direct.Len()))
+	}
+	got, err := trace.ReadBinary(bytes.NewReader(merged.Bytes()))
+	if err != nil {
+		add("shard/segments-merge-read", err.Error())
+		return
+	}
+	add("shard/segments-merge-dataset", check.DiffDatasets(serial.Dataset, got))
+
+	viaFile, err := trace.ReadFile(mpath)
+	if err != nil {
+		add("shard/readany-manifest", err.Error())
+	} else {
+		add("shard/readany-manifest", check.DiffDatasets(serial.Dataset, viaFile))
+	}
+
+	rSeg, err := analysis.AllSegments(m.SegmentPaths(dir), analysis.Options{})
+	if err != nil {
+		add("shard/allsegments-vs-all", err.Error())
+	} else {
+		add("shard/allsegments-vs-all", check.FirstDiffApprox(r1, rSeg, streamTol))
+	}
 }
 
 // diffCursor drains a stream cursor over tb, rebuilds a Dataset from
@@ -210,6 +299,14 @@ func run(cfg Config, workers int) (*experiment.Result, error) {
 	ec := experiment.Default(cfg.Seed)
 	ec.Days = cfg.Days
 	ec.Workers = workers
+	return experiment.Run(ec)
+}
+
+// runSharded executes the same experiment through the sharded collector.
+func runSharded(cfg Config, shards int) (*experiment.Result, error) {
+	ec := experiment.Default(cfg.Seed)
+	ec.Days = cfg.Days
+	ec.Shards = shards
 	return experiment.Run(ec)
 }
 

@@ -14,17 +14,28 @@
 // Usage:
 //
 //	traceconv [-format auto|csv|tbv1] [-check] <in> <out>
+//	traceconv -merge [-check] <run.manifest.json> <out.tb[.gz]>
 //
 // With -check the tool re-reads the file it just wrote and verifies the
 // dataset survived the conversion unchanged (machine, iteration and
 // sample counts, experiment bounds), turning a conversion into a
 // self-validating migration step.
+//
+// With -merge the input is a segment manifest from a sharded collection
+// run (labmon -shards -segments, or the ddcd shards); the segments are
+// compacted into one canonical TBv1 trace with the streaming k-way
+// merger — constant memory, no shard is ever materialised — so the tool
+// handles grid-scale segment sets. The output is always TBv1 (".gz"
+// adds gzip); merging to CSV is refused.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"winlab/internal/trace"
 )
@@ -48,8 +59,10 @@ func human(n int64) string {
 func main() {
 	formatFlag := flag.String("format", "auto", "output format: auto (by extension), csv, or tbv1")
 	check := flag.Bool("check", false, "re-read the output and verify the dataset round-tripped")
+	merge := flag.Bool("merge", false, "treat <in> as a segment manifest and stream-compact its segments into <out> (TBv1)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: traceconv [-format auto|csv|tbv1] [-check] <in> <out>")
+		fmt.Fprintln(os.Stderr, "       traceconv -merge [-check] <run.manifest.json> <out.tb[.gz]>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,6 +75,10 @@ func main() {
 	format, err := trace.ParseFormat(*formatFlag)
 	if err != nil {
 		fail(err)
+	}
+	if *merge {
+		mergeSegments(in, out, format, *check)
+		return
 	}
 	d, err := trace.ReadFile(in)
 	if err != nil {
@@ -102,4 +119,70 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "traceconv: %s (%s) -> %s (%s), %.1f%% of input\n",
 		in, human(inInfo.Size()), out, human(outInfo.Size()), pct)
+}
+
+// mergeSegments stream-compacts the manifest's segment files into out.
+func mergeSegments(in, out string, format trace.Format, check bool) {
+	if format == trace.FormatCSV {
+		fail(fmt.Errorf("-merge writes TBv1 (the compactor streams the binary format); drop -format csv"))
+	}
+	m, err := trace.ReadManifest(in)
+	if err != nil {
+		fail(fmt.Errorf("reading %s: %w", in, err))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	var w interface {
+		Write([]byte) (int, error)
+	} = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(out, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := trace.MergeSegments(w, m, filepath.Dir(in)); err != nil {
+		f.Close()
+		os.Remove(out)
+		fail(fmt.Errorf("merging %s: %w", in, err))
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+
+	if check {
+		rd, err := trace.ReadFile(out)
+		if err != nil {
+			fail(fmt.Errorf("check: re-reading %s: %w", out, err))
+		}
+		var samples uint64
+		for _, seg := range m.Segments {
+			samples += seg.Samples
+		}
+		switch {
+		case uint64(len(rd.Samples)) != samples:
+			fail(fmt.Errorf("check: samples %d != manifest total %d", len(rd.Samples), samples))
+		case !rd.Start.Equal(m.Start) || !rd.End.Equal(m.End) || rd.Period != m.Period():
+			fail(fmt.Errorf("check: experiment bounds changed"))
+		}
+	}
+
+	var inSize int64
+	for _, p := range m.SegmentPaths(filepath.Dir(in)) {
+		if fi, err := os.Stat(p); err == nil {
+			inSize += fi.Size()
+		}
+	}
+	outInfo, err := os.Stat(out)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "traceconv: %d segments (%s) -> %s (%s)\n",
+		len(m.Segments), human(inSize), out, human(outInfo.Size()))
 }
