@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly gridscale
+.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly gridscale serve-smoke
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
-# drop it locally for steadier numbers. The JSON summary (name → ns/op,
-# B/op, allocs/op) lands in $(BENCHJSON) for before/after comparisons.
+# drop it locally for steadier numbers. The JSON summary (env block plus
+# name → ns/op, B/op, allocs/op) lands in $(BENCHJSON) for before/after
+# comparisons. Distinct from BENCH_PR9.json, the queryload macro curve.
 BENCHTIME ?= 1x
-BENCHJSON ?= BENCH_PR8.json
+BENCHJSON ?= BENCH_PR9_micro.json
 
 # Fuzz smoke budget per target; raise locally for deeper runs.
 FUZZTIME ?= 10s
@@ -102,6 +103,46 @@ gridscale:
 # and `analyze -stream` no longer delivers constant-memory analysis.
 stream-smoke:
 	$(GO) test ./internal/analysis/ -run '^TestAllStreamMemoryCeiling$$' -v -count 1
+
+# Query-service gate knobs: where the smoke server listens and the
+# closed-loop throughput floor queryload must clear. The floor is the
+# paper target (10⁵ req/s on cached aggregates); a 1-core runner clears
+# it with >10× headroom, so red means the cache-hit path regressed, not
+# that the runner was slow.
+SERVEADDR ?= 127.0.0.1:9191
+QUERYFLOOR ?= 100000
+
+# serve-smoke is the query-service gate: start queryd on a seeded
+# 3-day simulated trace, assert every /api endpoint answers 200, assert
+# the strong-ETag revalidation round-trip returns 304, then drive the
+# cached hot path with tools/queryload — shedding must hold the served
+# p99 under overload (-saturate) and throughput must clear $(QUERYFLOOR).
+# The latency/throughput curve lands in BENCH_PR9.json (CI uploads it as
+# a non-gating artifact).
+serve-smoke:
+	@set -e; \
+	bin=$$(mktemp); \
+	trap 'kill $$pid 2>/dev/null || true; rm -f $$bin' EXIT; \
+	$(GO) build -o $$bin ./cmd/queryd; \
+	$$bin -addr $(SERVEADDR) -sim-days 3 -seed 1 -hold 60s & pid=$$!; \
+	for i in $$(seq 1 150); do \
+	    curl -sf http://$(SERVEADDR)/api/epoch >/dev/null 2>&1 && break; \
+	    sleep 0.2; \
+	done; \
+	for ep in epoch summary availability labs machines weekly equivalence uptimes heatmap events; do \
+	    code=$$(curl -s -o /dev/null -w '%{http_code}' http://$(SERVEADDR)/api/$$ep); \
+	    [ "$$code" = 200 ] || { echo "serve-smoke: /api/$$ep -> $$code (want 200)"; exit 1; }; \
+	done; \
+	echo "serve-smoke: all /api endpoints 200"; \
+	etag=$$(curl -sI http://$(SERVEADDR)/api/summary | tr -d '\r' | awk 'tolower($$1)=="etag:"{print $$2}'); \
+	[ -n "$$etag" ] || { echo "serve-smoke: no ETag on /api/summary"; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $$etag" http://$(SERVEADDR)/api/summary); \
+	[ "$$code" = 304 ] || { echo "serve-smoke: revalidation -> $$code (want 304)"; exit 1; }; \
+	echo "serve-smoke: ETag round-trip 304 ok ($$etag)"; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	$(GO) run ./tools/queryload -sim-days 3 -seed 1 \
+	    -endpoints epoch,summary,availability,heatmap \
+	    -duration 1s -saturate -floor $(QUERYFLOOR) -o BENCH_PR9.json
 
 # telemetry-demo runs the live collector with the metrics endpoint and
 # span trace enabled, scrapes it mid-run, and fails if /metrics or

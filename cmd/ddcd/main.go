@@ -55,6 +55,7 @@ import (
 	"winlab/internal/ddc"
 	"winlab/internal/lab"
 	"winlab/internal/machine"
+	"winlab/internal/query"
 	"winlab/internal/report"
 	"winlab/internal/sim"
 	"winlab/internal/telemetry"
@@ -108,6 +109,8 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /events, /healthz, /debug/pprof/) on this address")
 		traceOut  = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 		eventsOut = flag.String("events-out", "", "stream anomaly events to this JSONL file")
+		queryAddr = flag.String("query-addr", "", "serve the collected trace on the snapshot query API (/api/*) after the run")
+		queryHold = flag.Duration("query-hold", 0, "keep the query server up this long after the table (0 = exit immediately)")
 	)
 	flag.Parse()
 
@@ -323,6 +326,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ddcd: machines with open breaker or consecutive failures: %v\n", down)
 	}
 	report.Table2(analysis.MainResults(ds, analysis.DefaultForgottenThreshold)).Render(os.Stdout)
+
+	// Serve the merged trace on the query API: anomaly events the
+	// detectors raised during the run are on /api/events, epoch-tagged.
+	if *queryAddr != "" {
+		st := query.NewStore(analysis.Options{})
+		ev := query.NewEventLog(0, st.Epoch)
+		if det != nil {
+			ev.Load(det.Ring().Snapshot(), 0) // events predate the publish
+		}
+		st.Publish(ds)
+		h := query.NewHandler(query.Config{Store: st, Events: ev, Reg: reg})
+		var ring httpx.EventSource
+		if det != nil {
+			ring = det.Ring()
+		}
+		qsrv, err := query.Serve(*queryAddr, query.Root(h, reg, ring))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddcd:", err)
+			os.Exit(1)
+		}
+		defer qsrv.Close()
+		fmt.Fprintf(os.Stderr, "ddcd: query API on %s/api/epoch (epoch %d)\n", qsrv.URL(), st.Epoch())
+		if *queryHold > 0 {
+			time.Sleep(*queryHold)
+		}
+	}
 }
 
 // sumWallStats folds per-shard wall-collector stats into one fleet-wide

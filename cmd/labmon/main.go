@@ -38,6 +38,7 @@ import (
 	"winlab/internal/analysis"
 	"winlab/internal/anomaly"
 	"winlab/internal/core"
+	"winlab/internal/query"
 	"winlab/internal/report"
 	"winlab/internal/stats"
 	"winlab/internal/telemetry"
@@ -109,6 +110,9 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /vars, /spans, /events, /healthz, /debug/pprof/) on this address")
 		spansOut  = flag.String("trace-out", "", "stream probe spans to this JSONL file")
 		eventsOut = flag.String("events-out", "", "stream anomaly events to this JSONL file")
+		queryAddr = flag.String("query-addr", "", "serve the snapshot query API (/api/*) on this address during and after the run")
+		queryEvr  = flag.Int("query-every", 96, "publish a query snapshot every N collector iterations")
+		queryHold = flag.Duration("query-hold", 0, "keep the query server up this long after the report (0 = exit with the report)")
 	)
 	flag.Parse()
 
@@ -168,6 +172,35 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "labmon: telemetry on %s/metrics (also /vars, /spans, /events, /healthz, /debug/pprof/)\n", srv.URL())
+	}
+
+	// The query service rides on the run: snapshots of the accumulating
+	// trace publish into its store every -query-every iterations, so
+	// /api/* answers — with snapshot isolation — while the collector is
+	// still committing. Anomaly events land on /api/events epoch-tagged.
+	var qstore *query.Store
+	if *queryAddr != "" {
+		qstore = query.NewStore(analysis.Options{})
+		qevents := query.NewEventLog(0, qstore.Epoch)
+		if cfg.Detect != nil {
+			qevents.Attach(cfg.Detect.Ring())
+		}
+		if *shards <= 1 { // sharded runs have no single-sink prefix; only the final merge publishes
+			cfg.SnapshotEvery = *queryEvr
+			cfg.OnSnapshot = func(ds *trace.Dataset) { qstore.Publish(ds) }
+		}
+		qh := query.NewHandler(query.Config{Store: qstore, Events: qevents, Reg: cfg.Telemetry})
+		var ring httpx.EventSource
+		if cfg.Detect != nil {
+			ring = cfg.Detect.Ring()
+		}
+		qsrv, err := query.Serve(*queryAddr, query.Root(qh, cfg.Telemetry, ring))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		defer qsrv.Close()
+		fmt.Fprintf(os.Stderr, "labmon: query API on %s/api/epoch\n", qsrv.URL())
 	}
 
 	if *reps > 0 {
@@ -239,5 +272,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "labmon: figure CSVs written to %s\n", *csvDir)
+	}
+	if qstore != nil {
+		qstore.Publish(res.Dataset)
+		fmt.Fprintf(os.Stderr, "labmon: final trace published to query API (epoch %d)\n", qstore.Epoch())
+		if *queryHold > 0 {
+			time.Sleep(*queryHold)
+		}
 	}
 }

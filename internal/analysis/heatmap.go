@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"time"
+
+	"winlab/internal/trace"
+)
+
+// HeatHours is the resolution of the hour-of-week heatmaps: 7 days × 24
+// hours, Monday-first like the weekly profiles.
+const HeatHours = 7 * 24
+
+// MachineHeat is one machine's hour-of-week availability profile: for
+// each of the 168 cells, the fraction of that cell's iterations the
+// machine answered. It is the per-machine decomposition of the paper's
+// availability figures — the dashboard view that shows which rooms power
+// down overnight and which machines are always on.
+type MachineHeat struct {
+	Machine string
+	Lab     string
+	Uptime  []float64 // HeatHours cells, Monday 00:00 first
+}
+
+// HeatmapData bundles the hour-of-week heatmaps the query layer serves:
+// the fleet-level mean user-free machine count per cell (the harvest
+// windows of Figure 3, FreeMachineHeat) and the per-machine availability
+// grid.
+type HeatmapData struct {
+	IterationsPerCell []int     // probe iterations that fell in each cell
+	FreeMachines      []float64 // mean user-free machines per cell
+	Machines          []MachineHeat
+}
+
+// heatCell maps a time to its hour-of-week cell (Monday 00:00 is cell 0).
+func heatCell(t time.Time) int {
+	day := (int(t.Weekday()) + 6) % 7
+	return day*24 + t.Hour()
+}
+
+// Heatmap computes the hour-of-week heatmaps. Machines appear in catalog
+// order; a machine with no samples gets an all-zero row. The per-cell
+// denominator is the number of iterations whose start fell in the cell,
+// and the numerator deduplicates to distinct iterations answered, the
+// same correction UptimeRatios applies.
+func Heatmap(d *trace.Dataset, threshold time.Duration) *HeatmapData {
+	idx := d.Index()
+	iters := make([]int, HeatHours)
+	for _, it := range d.Iterations {
+		iters[heatCell(it.Start)]++
+	}
+	hd := &HeatmapData{
+		IterationsPerCell: iters,
+		FreeMachines:      FreeMachineHeat(Availability(d, threshold)),
+		Machines:          make([]MachineHeat, 0, len(d.Machines)),
+	}
+	for _, m := range d.Machines {
+		ss := idx.Samples(m.ID)
+		counts := make([]int, HeatHours)
+		for i := range ss {
+			if i > 0 && ss[i].Iter == ss[i-1].Iter {
+				continue // duplicate sample for one iteration
+			}
+			counts[heatCell(ss[i].Time)]++
+		}
+		up := make([]float64, HeatHours)
+		for c := range up {
+			if iters[c] > 0 {
+				up[c] = float64(counts[c]) / float64(iters[c])
+			}
+		}
+		hd.Machines = append(hd.Machines, MachineHeat{Machine: m.ID, Lab: m.Lab, Uptime: up})
+	}
+	return hd
+}
+
+// UptimeHistogram bins the per-machine uptime ratios into equal-width
+// bins over [0, 1] — the distribution behind Figure 4 (left), served as
+// the query layer's uptime histogram. Ratios outside [0, 1] (possible
+// only on traces the invariant checker would flag) clamp to the edge
+// bins.
+func UptimeHistogram(us []MachineUptime, bins int) []int {
+	if bins <= 0 {
+		bins = 20
+	}
+	out := make([]int, bins)
+	for _, u := range us {
+		i := int(u.Ratio * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		out[i]++
+	}
+	return out
+}

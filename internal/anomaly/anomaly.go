@@ -114,6 +114,39 @@ type Ring struct {
 	werr    error
 	buf     []byte // reused JSONL encode buffer
 	dropped uint64
+
+	// taps observe every added event under the ring lock, in attachment
+	// order — how the query layer's epoch-tagged event history rides the
+	// same emit path as the ring, the JSONL stream and the counters.
+	taps []*ringTap
+}
+
+// ringTap is one attached event observer.
+type ringTap struct{ fn func(Event) }
+
+// Tap registers an observer called for every subsequently added event,
+// under the ring lock in attachment order — the same contract as the
+// sink's commit-path taps: hand the event off quickly, do not block, and
+// do not call back into the ring. The returned detach removes exactly
+// this tap (idempotent). Safe on a nil ring (returns a no-op detach).
+func (r *Ring) Tap(fn func(Event)) (detach func()) {
+	if r == nil || fn == nil {
+		return func() {}
+	}
+	t := &ringTap{fn: fn}
+	r.mu.Lock()
+	r.taps = append(r.taps, t)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, tt := range r.taps {
+			if tt == t {
+				r.taps = append(r.taps[:i], r.taps[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // NewRing creates a ring holding up to capacity events
@@ -152,6 +185,9 @@ func (r *Ring) Add(e Event) {
 	if r.next == len(r.ring) {
 		r.next = 0
 		r.filled = true
+	}
+	for _, t := range r.taps {
+		t.fn(e)
 	}
 	if r.w != nil {
 		if r.werr != nil {

@@ -1,0 +1,38 @@
+package anomaly
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadEventsJSONL decodes an event stream written by Ring.SetWriter (one
+// JSON object per line, the -events-out format) back into events, in file
+// order. Blank lines are skipped; the first malformed line aborts with
+// its line number, returning the events decoded so far — a truncated tail
+// from a crashed run is a hard error, not silent data loss, matching the
+// trace reader's posture on truncation.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return out, fmt.Errorf("anomaly: events jsonl line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("anomaly: events jsonl line %d: %w", line, err)
+	}
+	return out, nil
+}

@@ -174,6 +174,60 @@ func (s *DatasetSink) OnIteration(info IterationInfo) {
 	}
 }
 
+// CloneDataset deep-copies the accumulated dataset under the sink lock:
+// the copy shares no slice storage with the live dataset, so the caller
+// can freeze, analyse and serve it while the collector keeps committing.
+// Sample/iteration/machine structs are copied by value (their string
+// fields are immutable). The clone's samples are in commit order, not
+// machine-sorted — freezing the clone sorts them, exactly as for a live
+// dataset.
+func (s *DatasetSink) CloneDataset() *trace.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cloneLocked()
+}
+
+// cloneLocked is CloneDataset with the sink lock already held (the
+// SnapshotEvery tap runs under it).
+func (s *DatasetSink) cloneLocked() *trace.Dataset {
+	return &trace.Dataset{
+		Start:      s.d.Start,
+		End:        s.d.End,
+		Period:     s.d.Period,
+		Machines:   append([]trace.MachineInfo(nil), s.d.Machines...),
+		Iterations: append([]trace.Iteration(nil), s.d.Iterations...),
+		Samples:    append([]trace.Sample(nil), s.d.Samples...),
+	}
+}
+
+// SnapshotEvery registers a commit-path tap that clones the accumulated
+// dataset after every k-th booked iteration (every ≤ 1 means every
+// iteration) and hands the clone to fn. The clone is taken under the sink
+// lock at an iteration boundary — all of that iteration's samples are
+// committed, none of the next iteration's are — so each published dataset
+// is exactly the committed prefix through its last iteration record: the
+// copy-on-publish half of the query layer's snapshot isolation.
+//
+// fn runs on the collector's iteration goroutine while the sink lock is
+// held: hand the clone off (publish a pointer, send on a channel) and
+// return; do not analyse it inline. The returned detach removes the tap.
+func (s *DatasetSink) SnapshotEvery(every int, fn func(*trace.Dataset)) (detach func()) {
+	if s == nil || fn == nil {
+		return func() {}
+	}
+	if every < 1 {
+		every = 1
+	}
+	n := 0
+	return s.Tap(nil, func(trace.Iteration) {
+		n++
+		if n%every != 0 {
+			return
+		}
+		fn(s.cloneLocked())
+	})
+}
+
 // Dataset returns the collected dataset. The last parse error, if any, is
 // returned so callers cannot silently analyse a corrupted trace.
 func (s *DatasetSink) Dataset() (*trace.Dataset, error) {

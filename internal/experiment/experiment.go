@@ -77,6 +77,16 @@ type Config struct {
 	// Incompatible with Inject (fault injection decides outcomes at
 	// execution time, which the deferred scheduling step cannot defer).
 	Shards int
+
+	// SnapshotEvery > 0 publishes a deep clone of the accumulated dataset
+	// to OnSnapshot every that many completed iterations — the feed for
+	// the query service's snapshot store (query.Store.Publish). Clones
+	// are cut under the sink lock at iteration boundaries, so each one
+	// is an exact committed prefix of the final trace. Requires
+	// OnSnapshot; incompatible with Shards > 1 (there is no single sink
+	// whose prefix would be the fleet-wide trace).
+	SnapshotEvery int
+	OnSnapshot    func(*trace.Dataset)
 }
 
 // Default returns the configuration reproducing the paper's experiment.
@@ -125,7 +135,13 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Behavior.Validate(); err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
+	if cfg.SnapshotEvery > 0 && cfg.OnSnapshot == nil {
+		return nil, fmt.Errorf("experiment: SnapshotEvery set without OnSnapshot")
+	}
 	if cfg.Shards > 1 {
+		if cfg.SnapshotEvery > 0 {
+			return nil, fmt.Errorf("experiment: SnapshotEvery is incompatible with Shards > 1")
+		}
 		return runSharded(cfg)
 	}
 	start, end := cfg.Start, cfg.End()
@@ -150,6 +166,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Detect != nil {
 		cfg.Detect.SetMachines(infos)
 		sink.Tap(cfg.Detect.Sample, cfg.Detect.Iteration)
+	}
+	if cfg.SnapshotEvery > 0 {
+		sink.SnapshotEvery(cfg.SnapshotEvery, cfg.OnSnapshot)
 	}
 	var exec ddc.Executor = &ddc.Direct{
 		Source: lab.Source{Fleet: fleet},

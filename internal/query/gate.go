@@ -1,0 +1,86 @@
+package query
+
+import (
+	"time"
+)
+
+// Gate is the admission controller: a bounded-concurrency,
+// bounded-queue, queue-deadline load shedder. The happy path — a free
+// execution slot — is one non-blocking channel receive, zero
+// allocations. When all slots are busy a request may wait in a bounded
+// queue for at most Timeout; a full queue or an expired wait sheds the
+// request (the handler turns that into 503 + Retry-After).
+//
+// Shedding early is the point: under saturation the server keeps serving
+// admitted requests at pre-saturation latency instead of queueing
+// everything into collapse.
+type Gate struct {
+	sem     chan struct{} // execution slots, pre-filled
+	queue   chan struct{} // waiting slots, pre-filled
+	timeout time.Duration
+}
+
+// NewGate returns a gate admitting at most inflight concurrent requests,
+// with at most queue waiters, each waiting at most timeout for a slot.
+// inflight < 1 returns nil — the nil *Gate admits everything, so callers
+// wire an optional gate without branching.
+func NewGate(inflight, queue int, timeout time.Duration) *Gate {
+	if inflight < 1 {
+		return nil
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if timeout <= 0 {
+		timeout = 50 * time.Millisecond
+	}
+	g := &Gate{
+		sem:     make(chan struct{}, inflight),
+		queue:   make(chan struct{}, queue),
+		timeout: timeout,
+	}
+	for i := 0; i < inflight; i++ {
+		g.sem <- struct{}{}
+	}
+	for i := 0; i < queue; i++ {
+		g.queue <- struct{}{}
+	}
+	return g
+}
+
+// Acquire tries to admit a request. It returns true when the caller
+// holds an execution slot and must Release it, false when the request
+// was shed.
+func (g *Gate) Acquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case <-g.sem: // fast path: free slot, no allocation, no timer
+		return true
+	default:
+	}
+	select {
+	case <-g.queue: // claim a waiting slot or shed immediately
+	default:
+		return false
+	}
+	t := time.NewTimer(g.timeout)
+	defer t.Stop()
+	select {
+	case <-g.sem:
+		g.queue <- struct{}{}
+		return true
+	case <-t.C:
+		g.queue <- struct{}{}
+		return false
+	}
+}
+
+// Release returns an execution slot taken by a successful Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	g.sem <- struct{}{}
+}

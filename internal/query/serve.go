@@ -1,0 +1,67 @@
+package query
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"winlab/internal/telemetry"
+	"winlab/internal/telemetry/httpx"
+)
+
+// Root combines the query API with the standard telemetry surface on one
+// handler: /api/* routes to the query handler with a single prefix check
+// (keeping its zero-allocation cache-hit path out of ServeMux), and
+// everything else — /metrics, /vars, /spans, /events, /healthz,
+// /debug/pprof/ — to the httpx telemetry mux. reg and ev may be nil.
+func Root(api *Handler, reg *telemetry.Registry, ev httpx.EventSource) http.Handler {
+	mux := http.NewServeMux()
+	httpx.Mount(mux, reg, ev)
+	return &root{api: api, rest: mux}
+}
+
+type root struct {
+	api  *Handler
+	rest http.Handler
+}
+
+func (r *root) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if strings.HasPrefix(req.URL.Path, "/api/") {
+		r.api.ServeHTTP(w, req)
+		return
+	}
+	r.rest.ServeHTTP(w, req)
+}
+
+// Server is a running query HTTP server.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (":0" for an ephemeral port) and serves handler in a
+// background goroutine.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("query: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &Server{srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -45,6 +45,15 @@ func Handler(reg *telemetry.Registry) http.Handler {
 // events on /events (most recent last; ?n=K limits to the K newest).
 func HandlerEvents(reg *telemetry.Registry, ev EventSource) http.Handler {
 	mux := http.NewServeMux()
+	Mount(mux, reg, ev)
+	return mux
+}
+
+// Mount registers the telemetry endpoints on a caller-owned mux, for
+// servers that serve their own API next to the telemetry surface
+// (cmd/queryd mounts these beside /api/*). Same endpoints and semantics
+// as HandlerEvents.
+func Mount(mux *http.ServeMux, reg *telemetry.Registry, ev EventSource) {
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		n := 0
@@ -93,7 +102,6 @@ func HandlerEvents(reg *telemetry.Registry, ev EventSource) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Serve binds addr (e.g. "127.0.0.1:9090", ":0" for an ephemeral port)

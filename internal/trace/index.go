@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,9 @@ type Index struct {
 
 	attempts int
 	days     float64
+
+	// fingerprint digests the frozen epoch's identity (see Fingerprint).
+	fingerprint uint64
 
 	// stale is set by Dataset.InvalidateIndex: the dataset's sample
 	// fields were edited in place, so every cached derived slice (the
@@ -131,9 +135,58 @@ func (d *Dataset) freezeLocked() *Index {
 		ix.attempts += it.Attempted
 	}
 	ix.days = d.End.Sub(d.Start).Hours() / 24
+	ix.fingerprint = fingerprintLocked(d)
 	d.idx.Store(ix)
 	return ix
 }
+
+// fingerprintLocked digests the dataset's identity at freeze time; the
+// caller holds d.idxMu and the samples are already machine/time-sorted.
+func fingerprintLocked(d *Dataset) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	u64(uint64(len(d.Samples)))
+	u64(uint64(len(d.Iterations)))
+	u64(uint64(len(d.Machines)))
+	u64(uint64(d.Start.UnixNano()))
+	u64(uint64(d.End.UnixNano()))
+	u64(uint64(d.Period))
+	if n := len(d.Iterations); n > 0 {
+		last := d.Iterations[n-1]
+		u64(uint64(last.Iter))
+		u64(uint64(last.Start.UnixNano()))
+		u64(uint64(last.Responded))
+	}
+	if n := len(d.Samples); n > 0 {
+		for _, s := range []*Sample{&d.Samples[0], &d.Samples[n-1]} {
+			_, _ = h.Write([]byte(s.Machine))
+			u64(uint64(s.Iter))
+			u64(uint64(s.Time.UnixNano()))
+			u64(uint64(s.BootTime.UnixNano()))
+		}
+	}
+	return h.Sum64()
+}
+
+// Fingerprint returns a stable 64-bit digest of the frozen epoch: sample,
+// iteration and machine counts, the experiment bounds and period, and the
+// boundary records (last iteration, first and last sorted sample). It is
+// deterministic across processes — the same trace always fingerprints the
+// same — and changes whenever the collector commits another iteration,
+// which is what makes it the snapshot/ETag primitive of the query layer:
+// equal fingerprints mean a cached aggregate is still valid, a changed
+// fingerprint is an epoch advance.
+//
+// The digest reads boundary records only (O(1)), so it cannot see
+// arbitrary in-place edits deep inside the sample slice; those are the
+// job of InvalidateIndex, exactly as for the structural staleness check.
+func (ix *Index) Fingerprint() uint64 { return ix.fingerprint }
 
 // Valid reports whether the index still describes its dataset: the
 // structural fingerprint matches (no appends, truncations or

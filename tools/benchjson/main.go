@@ -1,8 +1,9 @@
 // Command benchjson converts `go test -bench -benchmem` text output into
-// a stable JSON summary: benchmark name → ns/op, B/op, allocs/op. It
-// passes the raw benchmark text through to stdout unchanged (so it can
-// sit in a pipe without hiding the run) and writes the JSON to the file
-// named by -o.
+// a stable JSON summary: an "env" block recording the machine the run
+// happened on (GOMAXPROCS, CPU count, GOOS/GOARCH, Go version) plus a
+// "benchmarks" map of name → ns/op, B/op, allocs/op. It passes the raw
+// benchmark text through to stdout unchanged (so it can sit in a pipe
+// without hiding the run) and writes the JSON to the file named by -o.
 //
 // Usage:
 //
@@ -16,7 +17,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
-	"sort"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -27,6 +28,23 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+}
+
+// Env records the machine a benchmark run happened on. Absolute numbers
+// are meaningless without it: a 1-core CI runner and a 16-core
+// workstation both commit BENCH files.
+type Env struct {
+	GoMaxProcs int    `json:"go_max_procs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// Output is the emitted document.
+type Output struct {
+	Env        Env              `json:"env"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
 // benchLine matches e.g.
@@ -70,16 +88,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	names := make([]string, 0, len(entries))
-	for n := range entries {
-		names = append(names, n)
+	doc := Output{
+		Env: Env{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+		},
+		Benchmarks: entries, // json sorts map keys on marshal
 	}
-	sort.Strings(names)
-	ordered := make(map[string]Entry, len(entries)) // json sorts keys on marshal of maps
-	for _, n := range names {
-		ordered[n] = entries[n]
-	}
-	js, err := json.MarshalIndent(ordered, "", "  ")
+	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
 		os.Exit(1)
