@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly gridscale serve-smoke
+.PHONY: build test verify bench fuzz telemetry-demo doctor stream-smoke anomaly gridscale serve-smoke scenarios scenario-longhaul
 
 # Benchmark knobs: BENCHTIME=1x bounds CI cost (each benchmark runs once);
 # drop it locally for steadier numbers. The JSON summary (env block plus
@@ -80,6 +80,33 @@ ANOMALYDAYS ?= 12
 # precision/recall floors (0.90 / 0.80 per kind, aggregated over seeds).
 anomaly:
 	$(GO) run ./tools/anomalybench -seeds $(ANOMALYSEEDS) -days $(ANOMALYDAYS)
+
+# Scenario claim-set knobs: which sim seeds the bundled scenarios
+# (lockdown, refresh-year, server-mix, multi-campus) replay over. Each
+# scenario runs at its own length against a baseline of the same length
+# and seed.
+SCENARIOSEEDS ?= 1,2,3
+
+# scenarios is the scenario-engine gate: every bundled scenario's
+# documented claim set (directional movement of availability, cluster
+# equivalence and harvest work against baseline) must hold on each
+# seed, every collected trace must be doctor-clean (lifetime stamps
+# included), and the lockdown run — a slow regime shift, the labelled
+# negative corpus — must produce zero availability-collapse pages from
+# the streaming detectors.
+scenarios:
+	$(GO) run ./tools/scenariobench -seeds $(SCENARIOSEEDS)
+
+# scenario-longhaul replays the hardware-refresh scenario over a full
+# simulated year through the 8-shard collector — the Grid'5000-class
+# long-trace arm. Minutes of wall time, so CI runs it on a schedule
+# (see ci.yml), not per push.
+LONGHAUL_DAYS ?= 364
+LONGHAUL_SHARDS ?= 8
+
+scenario-longhaul:
+	$(GO) run ./tools/scenariobench -scenarios refresh-year,lockdown -seeds $(SCENARIOSEEDS) \
+	    -days $(LONGHAUL_DAYS) -shards $(LONGHAUL_SHARDS)
 
 # gridscale is the sharded-collection gate: probe a 100k-machine
 # arithmetic fleet across 8 shards, roll each shard's samples into

@@ -18,8 +18,13 @@
 //
 // Usage:
 //
-//	labmon [-seed N] [-days N] [-period 15m] [-workers N] [-shards N] [-segments dir] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
+//	labmon [-seed N] [-days N] [-scenario name|file.json] [-period 15m] [-workers N] [-shards N] [-segments dir] [-trace out.csv[.gz]|out.tb[.gz]] [-trace-format auto|csv|tbv1] [-csvdir dir] [-quiet]
 //	       [-replicate N] [-metrics-addr 127.0.0.1:9090] [-trace-out spans.jsonl] [-events-out events.jsonl]
+//
+// With -scenario the run plays a bundled scenario (regime shifts, fleet
+// churn, per-lab calendars, server pools — see internal/scenario) or a
+// scenario JSON file on top of the paper's semester; `make scenarios`
+// gates each bundled scenario's claim set in CI.
 //
 // With -shards N the fleet is partitioned lab-aligned across N
 // coordinator shards (the merged trace is identical to an unsharded run;
@@ -33,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"winlab/internal/analysis"
@@ -40,6 +46,7 @@ import (
 	"winlab/internal/core"
 	"winlab/internal/query"
 	"winlab/internal/report"
+	"winlab/internal/scenario"
 	"winlab/internal/stats"
 	"winlab/internal/telemetry"
 	"winlab/internal/telemetry/httpx"
@@ -97,7 +104,8 @@ func replicate(cfg core.Config, n int) error {
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "experiment seed (full determinism)")
-		days      = flag.Int("days", 77, "experiment length in days")
+		days      = flag.Int("days", 77, "experiment length in days (overrides the scenario's own)")
+		scen      = flag.String("scenario", "", "apply a scenario before running: a bundled name ("+strings.Join(scenario.Names(), ", ")+") or a JSON file")
 		period    = flag.Duration("period", 15*time.Minute, "sampling period")
 		traceOut  = flag.String("trace", "", "write the collected trace to this file")
 		csvDir    = flag.String("csvdir", "", "export figure CSVs into this directory")
@@ -118,6 +126,24 @@ func main() {
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.Days = *days
+	if *scen != "" {
+		sc, err := scenario.Resolve(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		if err := sc.Apply(&cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "labmon:", err)
+			os.Exit(1)
+		}
+		// An explicit -days beats the scenario's own length.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "days" {
+				cfg.Days = *days
+			}
+		})
+		fmt.Fprintf(os.Stderr, "labmon: scenario %s: %s\n", sc.Name, sc.Description)
+	}
 	cfg.Period = *period
 	cfg.Workers = *workers
 	cfg.Shards = *shards
@@ -213,7 +239,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "labmon: simulating %d machines for %d days (seed %d)...\n",
 		func() int {
-			n := 0
+			n := len(cfg.ExtraMachines)
 			for _, s := range cfg.Labs {
 				n += s.Machines
 			}

@@ -576,6 +576,8 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 	res.Availability.AvgUserFree = free.Mean()
 
 	// Figure 4 (left): uptime ratios, catalogue order then ratio-sorted.
+	// The denominator is per-machine (lifetime-bounded for fleet-churn
+	// machines), mirroring UptimeRatios exactly.
 	if len(iterations) > 0 {
 		ups := make([]MachineUptime, 0, len(machines))
 		for i := range machines {
@@ -583,7 +585,11 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 			if st := a.mach[machines[i].ID]; st != nil {
 				answered = st.answered
 			}
-			ratio := float64(answered) / float64(len(iterations))
+			attempts := machineAttempts(&machines[i], iterations)
+			ratio := 0.0
+			if attempts > 0 {
+				ratio = float64(answered) / float64(attempts)
+			}
 			ups = append(ups, MachineUptime{
 				Machine: machines[i].ID,
 				Ratio:   ratio,
@@ -655,16 +661,32 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 	res.Weekly = &a.weekly
 
 	// Figure 6, iteration-log order; zero result when no machine has
-	// index metadata, like Equivalence.
+	// index metadata, like Equivalence. On fleet-churn traces the
+	// denominator is the per-iteration active fleet, mirroring
+	// Equivalence exactly.
 	if a.totalPerf != 0 {
+		partial := false
+		for i := range machines {
+			if machines[i].PartialLifetime() {
+				partial = true
+				break
+			}
+		}
 		var occ, freeEq stats.Running
 		for _, it := range iterations {
 			es := a.eq[it.Iter]
 			if es == nil {
 				es = &eqSum{}
 			}
-			o := es.occ / a.totalPerf
-			f := es.free / a.totalPerf
+			denom := a.totalPerf
+			if partial {
+				denom = activePerf(machines, a.perf, it.Iter)
+				if denom == 0 {
+					continue
+				}
+			}
+			o := es.occ / denom
+			f := es.free / denom
 			occ.Add(o)
 			freeEq.Add(f)
 			res.Equivalence.WeeklyOccupied.Add(it.Start, o)
@@ -677,8 +699,10 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 	}
 
 	// Labs: catalogue labs always appear (even with no samples), machine
-	// counts come from the catalogue, sorted by name like ByLab.
+	// counts come from the catalogue, sorted by name like ByLab. Lab
+	// attempts are lifetime-bounded per machine, mirroring ByLab.
 	labMachines := make(map[string]map[string]bool)
+	labAttempts := make(map[string]int)
 	for i := range machines {
 		m := &machines[i]
 		if labMachines[m.Lab] == nil {
@@ -686,6 +710,7 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 			a.lab(m.Lab) // ensure the lab appears in the output
 		}
 		labMachines[m.Lab][m.ID] = true
+		labAttempts[m.Lab] += machineAttempts(m, iterations)
 	}
 	labs := make([]LabUsage, 0, len(a.labs))
 	for lb, l := range a.labs {
@@ -697,7 +722,7 @@ func (a *streamAcc) finalize(machines []trace.MachineInfo, iterations []trace.It
 			FreeRAMMBPerMachine:  l.freeRAM.Mean(),
 			FreeDiskGBPerMachine: l.freeDisk.Mean(),
 		}
-		if att := len(iterations) * len(labMachines[lb]); att > 0 {
+		if att := labAttempts[lb]; att > 0 {
 			u.UptimePct = 100 * float64(l.samples) / float64(att)
 			u.OccupiedPct = 100 * float64(l.occupied) / float64(att)
 		}

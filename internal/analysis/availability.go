@@ -82,9 +82,14 @@ type MachineUptime struct {
 // this function now also computes the right answer on them. The spans
 // are time-sorted, so deduplication is one adjacent comparison per
 // sample.
+//
+// The denominator is per-machine: a partial-lifetime machine (scenario
+// fleet churn) is only "attempted" during the iterations it was a fleet
+// member for, so a replacement that joined halfway through is not
+// charged the probes that predate it. Full-lifetime machines keep the
+// classic denominator, the full iteration count.
 func UptimeRatios(d *trace.Dataset) []MachineUptime {
-	attempts := len(d.Iterations)
-	if attempts == 0 {
+	if len(d.Iterations) == 0 {
 		return nil
 	}
 	idx := d.Index()
@@ -97,7 +102,11 @@ func UptimeRatios(d *trace.Dataset) []MachineUptime {
 				answered++
 			}
 		}
-		ratio := float64(answered) / float64(attempts)
+		attempts := machineAttempts(&m, d.Iterations)
+		ratio := 0.0
+		if attempts > 0 {
+			ratio = float64(answered) / float64(attempts)
+		}
 		out = append(out, MachineUptime{
 			Machine: m.ID,
 			Ratio:   ratio,
@@ -106,6 +115,21 @@ func UptimeRatios(d *trace.Dataset) []MachineUptime {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
 	return out
+}
+
+// machineAttempts returns how many of the trace's iterations the machine
+// was a fleet member for — the per-machine uptime denominator.
+func machineAttempts(m *trace.MachineInfo, iterations []trace.Iteration) int {
+	if !m.PartialLifetime() {
+		return len(iterations)
+	}
+	n := 0
+	for i := range iterations {
+		if m.ActiveAt(iterations[i].Iter) {
+			n++
+		}
+	}
+	return n
 }
 
 // CountAbove returns how many machines have an uptime ratio strictly above

@@ -32,9 +32,15 @@ type EquivalenceResult struct {
 // to 1 for every machine) behaviour is available via the normalize flag,
 // which the ablation bench uses to quantify how much index-weighting
 // matters.
+// For traces with partial-lifetime machines (scenario fleet churn) the
+// dedicated-cluster denominator is per-iteration: the comparison cluster
+// at any instant is the fleet that existed at that instant, so a machine
+// contributes to the denominator only while it is a fleet member.
+// Full-lifetime traces keep the classic static denominator.
 func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
 	perf := make(map[string]float64, len(d.Machines))
 	var totalPerf float64
+	partial := false
 	for _, m := range d.Machines {
 		p := m.PerfIndex()
 		if !normalize {
@@ -42,6 +48,7 @@ func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
 		}
 		perf[m.ID] = p
 		totalPerf += p
+		partial = partial || m.PartialLifetime()
 	}
 	var res EquivalenceResult
 	if totalPerf == 0 {
@@ -74,8 +81,15 @@ func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
 		if ss == nil {
 			ss = &slotSum{}
 		}
-		o := ss.occ / totalPerf
-		f := ss.free / totalPerf
+		denom := totalPerf
+		if partial {
+			denom = activePerf(d.Machines, perf, it.Iter)
+			if denom == 0 {
+				continue // no fleet at this instant; nothing to compare against
+			}
+		}
+		o := ss.occ / denom
+		f := ss.free / denom
 		occ.Add(o)
 		free.Add(f)
 		res.WeeklyOccupied.Add(it.Start, o)
@@ -86,4 +100,17 @@ func Equivalence(d *trace.Dataset, normalize bool) EquivalenceResult {
 	res.FreeRatio = free.Mean()
 	res.TotalRatio = res.OccupiedRatio + res.FreeRatio
 	return res
+}
+
+// activePerf sums the perf weights of the machines that were fleet
+// members at the given iteration — the per-iteration equivalence
+// denominator for traces with fleet churn.
+func activePerf(machines []trace.MachineInfo, perf map[string]float64, iter int) float64 {
+	var t float64
+	for i := range machines {
+		if machines[i].ActiveAt(iter) {
+			t += perf[machines[i].ID]
+		}
+	}
+	return t
 }

@@ -47,10 +47,15 @@ func ByLab(d *trace.Dataset, threshold time.Duration) []LabUsage {
 	}
 	ramByID := make(map[string]int, len(d.Machines))
 	labOf := make(map[string]string, len(d.Machines))
+	// Per-lab probe attempts: full-lifetime machines are attempted every
+	// iteration, partial-lifetime machines (fleet churn) only while they
+	// are members — identical to iterations × machines on static fleets.
+	labAttempts := make(map[string]int, 8)
 	for _, m := range d.Machines {
 		ramByID[m.ID] = m.RAMMB
 		labOf[m.ID] = m.Lab
 		get(m.Lab).machines[m.ID] = true
+		labAttempts[m.Lab] += machineAttempts(&m, d.Iterations)
 	}
 	for i := range d.Samples {
 		s := &d.Samples[i]
@@ -69,7 +74,6 @@ func ByLab(d *trace.Dataset, threshold time.Duration) []LabUsage {
 		get(labOf[iv.B.Machine]).cpu.Add(iv.CPUIdlePct())
 	}
 
-	iters := len(d.Iterations)
 	out := make([]LabUsage, 0, len(accs))
 	for lb, a := range accs {
 		u := LabUsage{
@@ -80,7 +84,7 @@ func ByLab(d *trace.Dataset, threshold time.Duration) []LabUsage {
 			FreeRAMMBPerMachine:  a.freeRAM.Mean(),
 			FreeDiskGBPerMachine: a.freeDisk.Mean(),
 		}
-		if attempts := iters * len(a.machines); attempts > 0 {
+		if attempts := labAttempts[lb]; attempts > 0 {
 			u.UptimePct = 100 * float64(a.samples) / float64(attempts)
 			u.OccupiedPct = 100 * float64(a.occupied) / float64(attempts)
 		}

@@ -62,6 +62,16 @@ type Config struct {
 	CollapseMinDeficit  float64 // …and recent − frac ≥ this (guards small-lab noise)
 	CollapseConfirm     int     // consecutive low iterations before emitting
 	CollapseRecoverFrac float64 // condition clears when frac ≥ this × recent
+	// CollapseMaxFreezeIters bounds how long the recent level and the
+	// seasonal baseline stay frozen while a drop is low/active. A fast
+	// outage recovers well within the bound, so the pre-drop reference
+	// is preserved exactly as before; a shift that *stays* low past the
+	// bound is a regime change (a lockdown semester, a policy change),
+	// and the baselines resume adapting so the condition clears through
+	// the recovery check instead of paging forever against a stale
+	// reference. Zero selects the default; negative means unbounded
+	// (the pre-fix freeze-forever behaviour).
+	CollapseMaxFreezeIters int
 	// Blackout escape hatch: a quiet lab (recent below CollapseRecentMin)
 	// going to *zero* reachable machines is still a collapse, provided the
 	// recent level implies at least this many machines were just up. The
@@ -114,6 +124,7 @@ func DefaultConfig() Config {
 		CollapseConfirm:          2,
 		CollapseRecoverFrac:      0.7,
 		CollapseBlackoutMachines: 3,
+		CollapseMaxFreezeIters:   192, // two days of 15-minute iterations
 
 		StormWindowIters:     8, // two hours
 		StormMaxGapIters:     2,
@@ -205,6 +216,7 @@ type labState struct {
 		obs   int
 	}
 	lowRun         int
+	freezeRun      int // iterations the baselines have been frozen for
 	collapseFirst  int
 	collapseActive bool
 
@@ -250,6 +262,9 @@ func New(cfg Config, reg *telemetry.Registry) *Detectors {
 	def := DefaultConfig()
 	if cfg.CollapseAlpha == 0 {
 		cfg = def
+	}
+	if cfg.CollapseMaxFreezeIters == 0 {
+		cfg.CollapseMaxFreezeIters = def.CollapseMaxFreezeIters
 	}
 	d := &Detectors{
 		cfg:      cfg,
@@ -425,9 +440,20 @@ func (d *Detectors) checkCollapse(lab *labState, it trace.Iteration, bin int, fr
 	// Feed the recent level and the seasonal baseline, but not with
 	// collapse-depressed fractions: an unhandled outage must not become
 	// the new normal (the recent level stays frozen at its pre-drop
-	// value, which is also what recovery is measured against).
+	// value, which is also what recovery is measured against). The
+	// freeze is bounded: a condition still low after
+	// CollapseMaxFreezeIters is a regime shift, not an outage, so the
+	// baselines resume adapting and the condition clears through the
+	// recovery check once the recent level has caught up. Fast drops
+	// recover far inside the bound and keep the exact frozen-reference
+	// behaviour.
 	if low || lab.collapseActive {
-		return
+		lab.freezeRun++
+		if d.cfg.CollapseMaxFreezeIters < 0 || lab.freezeRun <= d.cfg.CollapseMaxFreezeIters {
+			return
+		}
+	} else {
+		lab.freezeRun = 0
 	}
 	if !lab.recentInit {
 		lab.recent = frac

@@ -268,6 +268,59 @@ func TestDetectCollapseGateSuppressesScheduledDrop(t *testing.T) {
 	}
 }
 
+// TestDetectCollapseFreezeBounded: a lab that steps down to a sustained
+// lower regime pages once, but the baselines must not stay frozen at the
+// pre-drop level forever — past CollapseMaxFreezeIters they re-adapt, the
+// new level becomes the norm, and the condition clears. Unbounded freeze
+// (the pre-fix behaviour, kept under a negative setting) leaves the
+// collapse latched for the rest of the trace.
+func TestDetectCollapseFreezeBounded(t *testing.T) {
+	run := func(maxFreeze int) *Detectors {
+		cfg := DefaultConfig()
+		cfg.CollapseMaxFreezeIters = maxFreeze
+		d := New(cfg, nil)
+		d.SetMachines(fleet8())
+		feed := func(day, slot, responding int) {
+			at := testStart.AddDate(0, 0, day).Add(12*time.Hour + time.Duration(slot)*testPeriod)
+			iter := int(at.Sub(testStart) / testPeriod)
+			for i := 0; i < responding; i++ {
+				s := healthySample(machID(i), iter)
+				d.Sample(&s)
+			}
+			d.Iteration(trace.Iteration{Iter: iter, Start: at, Attempted: 8, Responded: responding})
+		}
+		// Monday–Wednesday noon: full house (warms every noon bin).
+		for day := 0; day < 3; day++ {
+			for slot := 0; slot < 4; slot++ {
+				feed(day, slot, 8)
+			}
+		}
+		// Thursday onwards (weekdays only): the lab settles at 2/8 — a
+		// regime shift, not an outage. It never recovers.
+		for _, day := range []int{3, 4, 7, 8, 9} {
+			for slot := 0; slot < 4; slot++ {
+				feed(day, slot, 2)
+			}
+		}
+		return d
+	}
+
+	d := run(4) // freeze bound of 4 iterations keeps the test feed short
+	if got := eventsOf(d, KindAvailabilityCollapse); len(got) != 1 {
+		t.Fatalf("bounded freeze: collapse events = %d, want exactly 1 (page on the step, then adapt): %+v", len(got), got)
+	}
+	if lab := d.labs["L01"]; lab.collapseActive {
+		t.Error("bounded freeze: collapse still latched after the baseline re-adapted to the new regime")
+	}
+
+	// The legacy unbounded behaviour stays reachable for comparison runs:
+	// the same feed leaves the condition latched forever.
+	d = run(-1)
+	if lab := d.labs["L01"]; !lab.collapseActive {
+		t.Error("unbounded freeze: expected the collapse to stay latched (pre-fix behaviour)")
+	}
+}
+
 // TestNilDetectors: every entry point must be a no-op on nil, so a
 // disabled detector wires through untouched.
 func TestNilDetectors(t *testing.T) {

@@ -10,16 +10,34 @@ import (
 // Calendar answers "are the classrooms open at time t?" following the
 // paper's §4.2: open 20 hours per day on weekdays (closed 4 am – 8 am),
 // open Saturdays until 9 pm, closed from Saturday 9 pm to Monday 8 am.
+//
+// The hour pattern is interpreted as wall-clock time in Loc (UTC when
+// nil), so a lab in a DST-shifting zone opens at 8 am local year-round.
+// AlwaysOpen describes a room that never closes (a server pool): IsOpen
+// is constantly true and NextClose reports ok=false.
 type Calendar struct {
 	OpenHour     int
 	NightClose   int
 	SatCloseHour int
+	Loc          *time.Location // wall-clock zone; nil = UTC
+	AlwaysOpen   bool           // never closes (server pools)
+}
+
+func (c Calendar) loc() *time.Location {
+	if c.Loc != nil {
+		return c.Loc
+	}
+	return time.UTC
 }
 
 // IsOpen reports whether the classrooms are open at t.
 func (c Calendar) IsOpen(t time.Time) bool {
-	h := t.Hour()
-	switch t.Weekday() {
+	if c.AlwaysOpen {
+		return true
+	}
+	lt := t.In(c.loc())
+	h := lt.Hour()
+	switch lt.Weekday() {
 	case time.Sunday:
 		return false
 	case time.Monday:
@@ -37,18 +55,45 @@ func (c Calendar) IsOpen(t time.Time) bool {
 }
 
 // NextClose returns the next instant at or after t when the labs close
-// (4 am on weekday nights, 9 pm on Saturday). If the labs are closed at t,
-// it returns t.
-func (c Calendar) NextClose(t time.Time) time.Time {
+// (4 am on weekday nights, 9 pm on Saturday) and ok=true. If the labs
+// are closed at t it returns (t, true). A calendar that never closes —
+// AlwaysOpen, or any hour pattern with no closed hour — reports
+// ok=false instead of scanning forever; the scan is bounded to one week
+// of wall-clock hours, which covers every weekly pattern.
+func (c Calendar) NextClose(t time.Time) (time.Time, bool) {
+	if c.AlwaysOpen {
+		return time.Time{}, false
+	}
 	if !c.IsOpen(t) {
-		return t
+		return t, true
 	}
-	u := t.Truncate(time.Hour)
-	for ; ; u = u.Add(time.Hour) {
+	u := wallHour(t.In(c.loc()))
+	for i := 0; i < 8*24; i++ {
 		if !c.IsOpen(u) && u.After(t) {
-			return u
+			return u, true
 		}
+		u = nextWallHour(u)
 	}
+	return time.Time{}, false
+}
+
+// wallHour truncates t to the start of its wall-clock hour in t's own
+// location. (Truncate aligns to UTC hours, which is wrong in a zone
+// whose offset is not a whole number of hours or shifts with DST.)
+func wallHour(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), 0, 0, 0, t.Location())
+}
+
+// nextWallHour steps to the next wall-clock hour boundary, normalising
+// across DST transitions: spring-forward skips the missing hour (2 am →
+// 3 am), and the guard keeps the scan monotonic through fall-back's
+// repeated hour so it can never stall.
+func nextWallHour(t time.Time) time.Time {
+	u := time.Date(t.Year(), t.Month(), t.Day(), t.Hour()+1, 0, 0, 0, t.Location())
+	if !u.After(t) {
+		u = t.Add(time.Hour)
+	}
+	return u
 }
 
 // Class is one scheduled class occurrence pattern: a lab, a weekday, a

@@ -62,20 +62,95 @@ func TestCalendarOpenHoursPerWeek(t *testing.T) {
 func TestNextClose(t *testing.T) {
 	cal := defaultCal()
 	at := monday.Add(10 * time.Hour) // Monday 10:00
-	got := cal.NextClose(at)
+	got, ok := cal.NextClose(at)
 	want := monday.AddDate(0, 0, 1).Add(4 * time.Hour) // Tuesday 04:00
-	if !got.Equal(want) {
-		t.Errorf("NextClose = %v, want %v", got, want)
+	if !ok || !got.Equal(want) {
+		t.Errorf("NextClose = %v, %v, want %v, true", got, ok, want)
 	}
 	// Closed time returns itself.
 	closed := monday.Add(5 * time.Hour)
-	if !cal.NextClose(closed).Equal(closed) {
-		t.Error("NextClose while closed should return t")
+	if got, ok := cal.NextClose(closed); !ok || !got.Equal(closed) {
+		t.Error("NextClose while closed should return t, true")
 	}
 	// Saturday afternoon closes at 21:00.
 	sat := monday.AddDate(0, 0, 5).Add(15 * time.Hour)
-	if got := cal.NextClose(sat); got.Hour() != 21 {
-		t.Errorf("Saturday NextClose = %v", got)
+	if got, ok := cal.NextClose(sat); !ok || got.Hour() != 21 {
+		t.Errorf("Saturday NextClose = %v, %v", got, ok)
+	}
+}
+
+// A calendar that never closes must report ok=false instead of looping
+// forever (the pre-fix NextClose hung on exactly this input).
+func TestNextCloseNeverCloses(t *testing.T) {
+	cal := Calendar{AlwaysOpen: true}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := cal.NextClose(monday.Add(10 * time.Hour)); ok {
+			t.Error("AlwaysOpen NextClose reported a close instant")
+		}
+		if !cal.IsOpen(monday) || !cal.IsOpen(monday.AddDate(0, 0, 6)) {
+			t.Error("AlwaysOpen calendar reported closed")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("NextClose did not terminate on a never-closing calendar")
+	}
+}
+
+// The hour pattern must be wall-clock correct in the calendar's own
+// location across DST transitions: the same UTC instant maps to
+// different local hours before and after a shift, and the close scan
+// must follow local 4 am, not UTC-aligned hour boundaries.
+func TestCalendarDST(t *testing.T) {
+	loc, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Skipf("zoneinfo unavailable: %v", err)
+	}
+	cfg := DefaultConfig(1)
+	cal := Calendar{OpenHour: cfg.OpenHour, NightClose: cfg.NightClose, SatCloseHour: cfg.SatCloseHour, Loc: loc}
+
+	// 2025: spring forward Sunday March 9, fall back Sunday November 2.
+	// Monday March 10 is EDT (UTC-4); Monday November 3 is EST (UTC-5).
+	cases := []struct {
+		utc  time.Time
+		open bool
+		why  string
+	}{
+		{time.Date(2025, 3, 10, 11, 30, 0, 0, time.UTC), false, "Mon Mar 10 07:30 EDT — before open"},
+		{time.Date(2025, 3, 10, 12, 30, 0, 0, time.UTC), true, "Mon Mar 10 08:30 EDT — open"},
+		{time.Date(2025, 11, 3, 12, 30, 0, 0, time.UTC), false, "Mon Nov 3 07:30 EST — before open"},
+		{time.Date(2025, 11, 3, 13, 30, 0, 0, time.UTC), true, "Mon Nov 3 08:30 EST — open"},
+	}
+	for _, c := range cases {
+		if got := cal.IsOpen(c.utc); got != c.open {
+			t.Errorf("IsOpen(%s) = %v, want %v (%s)", c.utc, got, c.open, c.why)
+		}
+	}
+
+	// Night close lands at local 4 am on both sides of the shift: the
+	// Monday-evening session closes Tuesday 04:00 EDT (08:00 UTC) in
+	// March and Tuesday 04:00 EST (09:00 UTC) in November.
+	for _, c := range []struct {
+		from, want time.Time
+	}{
+		{time.Date(2025, 3, 10, 10, 0, 0, 0, loc), time.Date(2025, 3, 11, 4, 0, 0, 0, loc)},
+		{time.Date(2025, 11, 3, 10, 0, 0, 0, loc), time.Date(2025, 11, 4, 4, 0, 0, 0, loc)},
+	} {
+		got, ok := cal.NextClose(c.from)
+		if !ok || !got.Equal(c.want) {
+			t.Errorf("NextClose(%s) = %v, %v, want %v", c.from, got, ok, c.want)
+		}
+		if got.In(loc).Hour() != 4 {
+			t.Errorf("NextClose(%s) local hour = %d, want 4", c.from, got.In(loc).Hour())
+		}
+	}
+	marClose, _ := cal.NextClose(time.Date(2025, 3, 10, 10, 0, 0, 0, loc))
+	novClose, _ := cal.NextClose(time.Date(2025, 11, 3, 10, 0, 0, 0, loc))
+	if marClose.UTC().Hour() == novClose.UTC().Hour() {
+		t.Error("EDT and EST closes map to the same UTC hour — calendar is not wall-clock correct")
 	}
 }
 

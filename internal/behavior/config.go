@@ -209,8 +209,16 @@ func (c *Config) Validate() error {
 		c.SatCloseHour < 0 || c.SatCloseHour > 23 {
 		return fmt.Errorf("behavior: calendar hours outside 0..23")
 	}
+	// These two rejections keep the weekly pattern well-formed: with
+	// NightClose ≥ OpenHour a "day" never closes overnight, and with
+	// SatCloseHour ≤ OpenHour Saturday closes before it opens. (A room
+	// that genuinely never closes is Calendar.AlwaysOpen, not an hour
+	// pattern.)
 	if c.NightClose >= c.OpenHour {
 		return fmt.Errorf("behavior: NightClose (%d) must precede OpenHour (%d)", c.NightClose, c.OpenHour)
+	}
+	if c.SatCloseHour <= c.OpenHour {
+		return fmt.Errorf("behavior: SatCloseHour (%d) must follow OpenHour (%d)", c.SatCloseHour, c.OpenHour)
 	}
 	ranges := []struct {
 		name   string

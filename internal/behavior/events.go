@@ -15,6 +15,10 @@ import (
 // arrivals according to the hour-of-day shape.
 func (md *Model) arrivalTick(eng *sim.Engine) {
 	t := eng.Now()
+	if md.labCals != nil {
+		md.arrivalTickLabs(eng, t)
+		return
+	}
 	if !md.cal.IsOpen(t) {
 		return
 	}
@@ -22,6 +26,7 @@ func (md *Model) arrivalTick(eng *sim.Engine) {
 	if t.Weekday() == time.Saturday {
 		rate *= md.cfg.SaturdayFactor
 	}
+	rate *= md.arrivalFactor(t) // ×1 exactly unless an overlay is set
 	n := md.arrivals.Poisson(rate / 4) // per 15-minute tick
 	for i := 0; i < n; i++ {
 		// Arrivals land uniformly inside the tick.
@@ -56,6 +61,9 @@ func (md *Model) pickMachine() *machCtl {
 	weights := make([]float64, len(md.fleet.Specs))
 	anyFree := false
 	for i, s := range md.fleet.Specs {
+		if md.alwaysOn[s.Name] {
+			continue // server pools host no interactive use (nil map by default)
+		}
 		if md.freeIn(s.Name) > 0 {
 			weights[i] = math.Pow(s.PerfIndex(), md.cfg.LabPrefGamma)
 			anyFree = true
@@ -108,7 +116,20 @@ func (md *Model) freeIn(labName string) int {
 
 func (md *Model) phantomTick(eng *sim.Engine) {
 	t := eng.Now()
-	if !md.cal.IsOpen(t) {
+	if md.labCals != nil {
+		// Per-lab calendars: phantoms happen wherever some classroom
+		// is open (server pools are not classroom foot traffic).
+		open := false
+		for _, s := range md.fleet.Specs {
+			if !md.alwaysOn[s.Name] && md.calFor(s.Name).IsOpen(t) {
+				open = true
+				break
+			}
+		}
+		if !open {
+			return
+		}
+	} else if !md.cal.IsOpen(t) {
 		return
 	}
 	n := md.power.Poisson(md.cfg.PhantomPerOpenHour)
@@ -119,12 +140,18 @@ func (md *Model) phantomTick(eng *sim.Engine) {
 }
 
 func (md *Model) phantomCycle(eng *sim.Engine) {
-	// Pick any powered-off, claimable machine.
+	// Pick any powered-off, claimable machine (in a currently open,
+	// non-server lab when per-lab calendars are configured).
+	t := eng.Now()
 	var off []*machCtl
 	for _, mc := range md.ctl {
-		if mc.claimable() && !mc.m.Powered() {
-			off = append(off, mc)
+		if !mc.claimable() || mc.m.Powered() {
+			continue
 		}
+		if md.labCals != nil && (md.alwaysOn[mc.m.Lab] || !md.calFor(mc.m.Lab).IsOpen(t)) {
+			continue
+		}
+		off = append(off, mc)
 	}
 	if len(off) == 0 {
 		return
@@ -132,11 +159,12 @@ func (md *Model) phantomCycle(eng *sim.Engine) {
 	mc := off[md.power.Intn(len(off))]
 	mc.pending = true
 	boot := time.Duration(md.power.Uniform(float64(md.cfg.BootDelayLo), float64(md.cfg.BootDelayHi)))
-	eng.After(boot, "phantom-boot", func(e *sim.Engine) {
+	mc.bootEv = eng.After(boot, "phantom-boot", func(e *sim.Engine) {
 		md.powerOn(e, mc)
 		md.PhantomCycles++
 		use := time.Duration(md.power.Uniform(float64(2*time.Minute), float64(9*time.Minute)))
-		e.After(use, "phantom-off", func(e2 *sim.Engine) {
+		mc.bootEv = e.After(use, "phantom-off", func(e2 *sim.Engine) {
+			mc.bootEv = nil
 			mc.pending = false
 			md.powerOff(e2, mc)
 		})
@@ -148,9 +176,13 @@ func (md *Model) phantomCycle(eng *sim.Engine) {
 
 // classStart claims machines for one class occurrence and schedules its end.
 func (md *Model) classStart(eng *sim.Engine, c Class) {
+	if md.alwaysOn[c.Lab] {
+		return // server pools host no classes
+	}
 	md.classSeq++
 	tag := md.classSeq
 	att := md.classes.Uniform(md.cfg.ClassAttendanceLo, md.cfg.ClassAttendanceHi)
+	att = clampF(att*md.attendanceFactor(eng.Now()), 0, 1) // ×1 exactly without overlay
 	ctls := md.byLab[c.Lab]
 	order := make([]*machCtl, len(ctls))
 	copy(order, ctls)
@@ -160,7 +192,7 @@ func (md *Model) classStart(eng *sim.Engine, c Class) {
 		if !md.classes.Bool(att) {
 			continue
 		}
-		if mc.pending {
+		if mc.pending || !mc.usable() {
 			continue
 		}
 		switch mc.kind {
@@ -243,30 +275,43 @@ func (md *Model) classEnd(eng *sim.Engine, labName string, tag int64) {
 // produces the paper's population of ≥10-hour login samples.
 func (md *Model) closingSweep(eng *sim.Engine) {
 	for _, mc := range md.ctl {
-		if mc.pending {
-			continue
-		}
-		mcc := mc
-		stagger := time.Duration(md.power.Uniform(0, float64(12*time.Minute)))
-		eng.After(stagger, "close-leave", func(e *sim.Engine) {
-			if mcc.pending {
-				return
-			}
-			switch mcc.kind {
-			case kindFree, kindClass:
-				md.endSession(e, mcc, endOpts{
-					offProb:       md.cfg.OffAtCloseActive,
-					forgetAllowed: true,
-				})
-			case kindForgotten:
-				if md.power.Bool(clampF(md.cfg.OffAtCloseForgotten*mcc.offBias, 0, 1)) {
-					md.powerOff(e, mcc)
-				}
-			default:
-				if mcc.m.Powered() && md.power.Bool(clampF(md.cfg.OffAtCloseIdle*mcc.offBias, 0, 1)) {
-					md.powerOff(e, mcc)
-				}
-			}
-		})
+		md.sweepOne(eng, mc)
 	}
+}
+
+// closingSweepLab sweeps one lab at its own closing time (per-lab
+// calendar scenarios; see installScenario).
+func (md *Model) closingSweepLab(eng *sim.Engine, lb string) {
+	for _, mc := range md.byLab[lb] {
+		md.sweepOne(eng, mc)
+	}
+}
+
+func (md *Model) sweepOne(eng *sim.Engine, mc *machCtl) {
+	if mc.pending || !mc.usable() {
+		return
+	}
+	mcc := mc
+	stagger := time.Duration(md.power.Uniform(0, float64(12*time.Minute)))
+	eng.After(stagger, "close-leave", func(e *sim.Engine) {
+		if mcc.pending || !mcc.usable() {
+			return
+		}
+		pf := md.powerFactor(e.Now()) // ×1 exactly unless an overlay is set
+		switch mcc.kind {
+		case kindFree, kindClass:
+			md.endSession(e, mcc, endOpts{
+				offProb:       md.cfg.OffAtCloseActive,
+				forgetAllowed: true,
+			})
+		case kindForgotten:
+			if md.power.Bool(clampF(md.cfg.OffAtCloseForgotten*mcc.offBias*pf, 0, 1)) {
+				md.powerOff(e, mcc)
+			}
+		default:
+			if mcc.m.Powered() && md.power.Bool(clampF(md.cfg.OffAtCloseIdle*mcc.offBias*pf, 0, 1)) {
+				md.powerOff(e, mcc)
+			}
+		}
+	})
 }

@@ -51,9 +51,15 @@ type machCtl struct {
 	prof     profile
 	tempGB   float64
 
+	// Lifecycle state (scenario fleets; see scenario.go). joined is
+	// true for the machine's whole life outside lifecycle scenarios.
+	joined  bool
+	retired bool
+
 	endEv    *sim.Event
 	redrawEv *sim.Event
 	crashEv  *sim.Event
+	bootEv   *sim.Event // in-flight boot/reboot/phantom event, for retire
 }
 
 // Model animates a fleet on a simulation engine.
@@ -64,6 +70,13 @@ type Model struct {
 	fleet *lab.Fleet
 	ctl   []*machCtl
 	byLab map[string][]*machCtl
+
+	// Scenario hooks (see scenario.go); all nil/empty by default, in
+	// which case every event path is the exact pre-scenario code.
+	overlay  Overlay
+	labCals  map[string]Calendar
+	alwaysOn map[string]bool
+	life     map[string]Lifecycle
 
 	// Independent random streams per concern (see package rng).
 	arrivals *rng.Source
@@ -116,6 +129,7 @@ func NewModel(cfg Config, fleet *lab.Fleet) *Model {
 			spec:     fleet.SpecOf(mm),
 			diskBase: fleet.SpecOf(mm).BaseImgGB + jit.Uniform(-cfg.DiskJitterGB, cfg.DiskJitterGB),
 			offBias:  off,
+			joined:   true,
 		}
 		m.ctl = append(m.ctl, mc)
 		m.byLab[mm.Lab] = append(m.byLab[mm.Lab], mc)
@@ -134,6 +148,14 @@ func (md *Model) Calendar() Calendar { return md.cal }
 // that weekly figures align, but any start works.
 func (md *Model) Install(eng *sim.Engine, start, end time.Time) {
 	md.start, md.end = start, end
+
+	// Scenario hooks configured? Scheduling generalises to per-lab wall
+	// clocks and lifecycle windows (scenario.go). The default path below
+	// stays byte-for-byte identical for unconfigured models.
+	if md.scenarioActive() {
+		md.installScenario(eng, start, end)
+		return
+	}
 
 	// Student arrival process: one tick per 15 minutes.
 	eng.Every(start, 15*time.Minute, end, "arrivals", md.arrivalTick)
@@ -234,14 +256,16 @@ func (md *Model) claim(eng *sim.Engine, mc *machCtl, login func(*sim.Engine)) {
 		mc.kind = kindNone
 		mc.m.PowerOff(eng.Now())
 		mc.pending = true
-		eng.After(bootDelay(), "reboot", func(e *sim.Engine) {
+		mc.bootEv = eng.After(bootDelay(), "reboot", func(e *sim.Engine) {
+			mc.bootEv = nil
 			mc.pending = false
 			md.powerOn(e, mc)
 			login(e)
 		})
 	default: // powered off
 		mc.pending = true
-		eng.After(bootDelay(), "boot", func(e *sim.Engine) {
+		mc.bootEv = eng.After(bootDelay(), "boot", func(e *sim.Engine) {
+			mc.bootEv = nil
 			mc.pending = false
 			md.powerOn(e, mc)
 			login(e)
@@ -250,10 +274,10 @@ func (md *Model) claim(eng *sim.Engine, mc *machCtl, login func(*sim.Engine)) {
 }
 
 // claimable reports whether a machine can be given to a new user right now:
-// not mid-boot and not hosting an *active* session (forgotten ones are
-// rebooted away by claim).
+// a current fleet member, not mid-boot and not hosting an *active* session
+// (forgotten ones are rebooted away by claim).
 func (mc *machCtl) claimable() bool {
-	return !mc.pending && mc.kind != kindFree && mc.kind != kindClass
+	return mc.usable() && !mc.pending && mc.kind != kindFree && mc.kind != kindClass
 }
 
 func (md *Model) nextUser(prefix string) string {

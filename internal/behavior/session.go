@@ -94,7 +94,8 @@ func (md *Model) endSession(eng *sim.Engine, mc *machCtl, opts endOpts) {
 	mc.m.ClearActivity(t, machine.ActInteractive)
 	mc.m.Logout(t)
 	mc.kind = kindNone
-	if md.power.Bool(clampF(opts.offProb*mc.offBias, 0, 1)) {
+	// powerFactor is 1 exactly unless a regime overlay is configured.
+	if md.power.Bool(clampF(opts.offProb*mc.offBias*md.powerFactor(t), 0, 1)) {
 		md.powerOff(eng, mc)
 	}
 }
@@ -164,7 +165,8 @@ func (md *Model) scheduleCrash(eng *sim.Engine, mc *machCtl) {
 		mc.m.PowerOff(e.Now()) // closes the session in the ground-truth log
 		mc.pending = true
 		delay := time.Duration(md.power.Uniform(float64(md.cfg.BootDelayLo), float64(md.cfg.BootDelayHi)))
-		e.After(delay, "crash-reboot", func(e2 *sim.Engine) {
+		mc.bootEv = e.After(delay, "crash-reboot", func(e2 *sim.Engine) {
+			mc.bootEv = nil
 			mc.pending = false
 			md.powerOn(e2, mc)
 			if md.power.Bool(0.8) { // user logs back in to finish work

@@ -78,6 +78,23 @@ type Config struct {
 	// execution time, which the deferred scheduling step cannot defer).
 	Shards int
 
+	// Scenario hooks (internal/scenario composes these; all empty by
+	// default, keeping runs byte-identical to pre-scenario behaviour).
+	// Overlay modulates arrival/attendance/shutdown rates over time
+	// (regime shifts); LabCalendars gives labs their own opening hours
+	// and wall-clock time zones; AlwaysOnLabs marks server pools that
+	// never close and host no interactive use; ExtraMachines appends
+	// off-catalogue machines (hardware refresh, added servers); and
+	// Lifecycle bounds machines' fleet membership in time (joiners,
+	// leavers). Lifecycle windows are stamped onto the trace catalogue
+	// as [JoinIter, LeaveIter) so checks and analysis denominators see
+	// the churn.
+	Overlay       behavior.Overlay
+	LabCalendars  map[string]behavior.Calendar
+	AlwaysOnLabs  []string
+	ExtraMachines []lab.Extra
+	Lifecycle     []behavior.Lifecycle
+
 	// SnapshotEvery > 0 publishes a deep clone of the accumulated dataset
 	// to OnSnapshot every that many completed iterations — the feed for
 	// the query service's snapshot store (query.Store.Publish). Clones
@@ -138,6 +155,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.SnapshotEvery > 0 && cfg.OnSnapshot == nil {
 		return nil, fmt.Errorf("experiment: SnapshotEvery set without OnSnapshot")
 	}
+	if err := validateScenario(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.Shards > 1 {
 		if cfg.SnapshotEvery > 0 {
 			return nil, fmt.Errorf("experiment: SnapshotEvery is incompatible with Shards > 1")
@@ -146,19 +166,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	start, end := cfg.Start, cfg.End()
 
-	fleet := lab.Build(cfg.Labs, cfg.Seed, cfg.DiskLife)
+	fleet := buildFleet(cfg)
 	model := behavior.NewModel(cfg.Behavior, fleet)
+	applyScenario(model, cfg)
 	eng := sim.New(start)
 	model.Install(eng, start, end)
 
+	infos := machineInfos(cfg, fleet)
 	ids := make([]string, 0, fleet.Size())
-	infos := make([]trace.MachineInfo, 0, fleet.Size())
 	for _, m := range fleet.Machines {
 		ids = append(ids, m.ID)
-		infos = append(infos, trace.MachineInfo{
-			ID: m.ID, Lab: m.Lab, RAMMB: m.HW.RAMMB, DiskGB: m.HW.DiskGB,
-			IntIndex: m.HW.IntIndex, FPIndex: m.HW.FPIndex,
-		})
 	}
 
 	lat := rng.Derive(cfg.Seed, "latency")

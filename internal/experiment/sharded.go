@@ -43,18 +43,13 @@ func runSharded(cfg Config) (*Result, error) {
 	}
 	start, end := cfg.Start, cfg.End()
 
-	fleet := lab.Build(cfg.Labs, cfg.Seed, cfg.DiskLife)
+	fleet := buildFleet(cfg)
 	model := behavior.NewModel(cfg.Behavior, fleet)
+	applyScenario(model, cfg)
 	eng := sim.New(start)
 	model.Install(eng, start, end)
 
-	infos := make([]trace.MachineInfo, 0, fleet.Size())
-	for _, m := range fleet.Machines {
-		infos = append(infos, trace.MachineInfo{
-			ID: m.ID, Lab: m.Lab, RAMMB: m.HW.RAMMB, DiskGB: m.HW.DiskGB,
-			IntIndex: m.HW.IntIndex, FPIndex: m.HW.FPIndex,
-		})
-	}
+	infos := machineInfos(cfg, fleet)
 
 	// detectMu serialises the detector feed: sample taps run on shard
 	// goroutines, the iteration feed on the engine goroutine.

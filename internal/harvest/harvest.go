@@ -81,10 +81,8 @@ func Run(d *trace.Dataset, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("harvest: non-positive task work %v", cfg.TaskWork)
 	}
 	perf := make(map[string]float64, len(d.Machines))
-	var fleetIndex float64
 	for _, m := range d.Machines {
 		perf[m.ID] = m.PerfIndex()
-		fleetIndex += m.PerfIndex()
 	}
 	res := Result{Config: cfg}
 	maxGap := 2 * d.Period
@@ -120,12 +118,50 @@ func Run(d *trace.Dataset, cfg Config) (Result, error) {
 		res.HarvestedWork += st.checkpointed
 	})
 
-	hours := d.End.Sub(d.Start).Hours()
-	if fleetIndex > 0 && hours > 0 {
-		res.Equivalence = res.HarvestedWork / (fleetIndex * hours)
-		res.UpperBound = (res.HarvestedWork + res.LostWork) / (fleetIndex * hours)
+	denom := fleetIndexHours(d)
+	if denom > 0 {
+		res.Equivalence = res.HarvestedWork / denom
+		res.UpperBound = (res.HarvestedWork + res.LostWork) / denom
 	}
 	return res, nil
+}
+
+// fleetIndexHours computes the dedicated-cluster denominator in
+// index-hours: each machine's perf index times the hours it was a fleet
+// member. Full-lifetime machines contribute over the whole experiment;
+// partial-lifetime machines (scenario fleet churn) are prorated by the
+// share of iterations they were members for, so a replacement that
+// joined halfway through is not charged hours it could never harvest.
+func fleetIndexHours(d *trace.Dataset) float64 {
+	hours := d.End.Sub(d.Start).Hours()
+	if hours <= 0 {
+		return 0
+	}
+	partial := false
+	var fleetIndex float64
+	for i := range d.Machines {
+		fleetIndex += d.Machines[i].PerfIndex()
+		partial = partial || d.Machines[i].PartialLifetime()
+	}
+	if !partial {
+		return fleetIndex * hours // classic static-fleet denominator, bit-for-bit
+	}
+	var t float64
+	for i := range d.Machines {
+		m := &d.Machines[i]
+		h := hours
+		if m.PartialLifetime() && len(d.Iterations) > 0 {
+			active := 0
+			for j := range d.Iterations {
+				if m.ActiveAt(d.Iterations[j].Iter) {
+					active++
+				}
+			}
+			h = hours * float64(active) / float64(len(d.Iterations))
+		}
+		t += m.PerfIndex() * h
+	}
+	return t
 }
 
 // harvestSlice advances one machine's task across one sample interval.

@@ -101,6 +101,12 @@ type Fleet struct {
 	Machines []*machine.Machine
 	ByLab    map[string][]*machine.Machine
 	byID     map[string]*machine.Machine
+
+	// overrides maps machine ID → hardware spec for machines whose
+	// hardware differs from their lab's catalogue entry (scenario
+	// hardware refresh: a replacement joins with newer RAM/disk/NBench
+	// indexes under a new ID). See Add.
+	overrides map[string]Spec
 }
 
 // DiskLife configures the pre-experiment SMART seeding of the fleet's
@@ -169,14 +175,69 @@ func BuildPaperFleet(seed int64) *Fleet {
 	return Build(PaperCatalog(), seed, DefaultDiskLife())
 }
 
+// Extra is one machine outside the lab catalogue's uniform rows: a
+// hardware-refresh replacement or a server added to an existing lab,
+// with its own hardware spec. The Spec's Machines field is ignored.
+type Extra struct {
+	ID   string
+	Lab  string
+	Spec Spec
+}
+
+// Add appends one extra machine to the fleet with its own hardware
+// spec, registering a per-machine override so SpecOf answers the
+// machine's true hardware rather than the lab catalogue row. The disk
+// is seeded as nearly new (a refresh replacement arrives with a fresh
+// disk); src drives the small amount of seeding randomness and should
+// be a dedicated stream so catalogue machines' draws are untouched.
+func (f *Fleet) Add(e Extra, src *rng.Source) *machine.Machine {
+	if f.byID[e.ID] != nil {
+		panic("lab: duplicate machine ID " + e.ID)
+	}
+	s := e.Spec
+	s.Name = e.Lab
+	s.Machines = 1
+	idx := len(f.Machines) + 1
+	disk := smart.NewDisk(fmt.Sprintf("WD-%s%04d", e.Lab, idx), s.DiskGB)
+	// A handful of burn-in cycles, not a years-old life.
+	cycles := int64(src.Uniform(3, 20))
+	perCycle := src.BoundedNormal(2, 1, 0.4, 8)
+	disk.SeedLife(cycles, time.Duration(float64(cycles)*perCycle*float64(time.Hour)))
+	hw := machine.Hardware{
+		CPUModel: s.CPUModel,
+		CPUGHz:   s.CPUGHz,
+		RAMMB:    s.RAMMB,
+		SwapMB:   machine.DefaultSwapMB(s.RAMMB),
+		DiskGB:   s.DiskGB,
+		IntIndex: s.IntIndex,
+		FPIndex:  s.FPIndex,
+		MACs:     []string{machine.SyntheticMAC(idx)},
+		OS:       "Windows 2000 Professional SP3",
+	}
+	m := machine.New(e.ID, e.Lab, hw, disk)
+	f.Machines = append(f.Machines, m)
+	f.ByLab[e.Lab] = append(f.ByLab[e.Lab], m)
+	f.byID[e.ID] = m
+	if f.overrides == nil {
+		f.overrides = make(map[string]Spec)
+	}
+	f.overrides[e.ID] = s
+	return m
+}
+
 // Get returns the machine with the given ID, or nil.
 func (f *Fleet) Get(id string) *machine.Machine { return f.byID[id] }
 
 // Size returns the number of machines in the fleet.
 func (f *Fleet) Size() int { return len(f.Machines) }
 
-// SpecOf returns the Spec of the lab a machine belongs to.
+// SpecOf returns a machine's hardware spec: its per-machine override
+// when it has one (refresh replacements, added servers), otherwise the
+// catalogue row of its lab.
 func (f *Fleet) SpecOf(m *machine.Machine) Spec {
+	if s, ok := f.overrides[m.ID]; ok {
+		return s
+	}
 	for _, s := range f.Specs {
 		if s.Name == m.Lab {
 			return s

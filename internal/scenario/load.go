@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes one scenario from JSON. Unknown fields are rejected —
+// a typoed knob must fail loudly, not silently run the default.
+func Parse(data []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Resolve returns the scenario named by s: a bundled scenario name, or
+// a path to a JSON file (anything containing a path separator or
+// ending in .json is treated as a file).
+func Resolve(s string) (*Config, error) {
+	if c, err := Bundled(s); err == nil {
+		return c, nil
+	} else if !isFileRef(s) {
+		return nil, err
+	}
+	return Load(s)
+}
+
+func isFileRef(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '\\' {
+			return true
+		}
+	}
+	return len(s) > 5 && s[len(s)-5:] == ".json"
+}

@@ -1,0 +1,345 @@
+// Package scenario is the declarative layer over the experiment: a
+// scenario names a fleet-scale situation — a lockdown semester, a
+// hardware-refresh year, an always-on server pool next to the
+// classrooms, a campus spread across time zones — as plain data, and
+// compiles it onto experiment.Config without forking the behaviour
+// model. An empty scenario applies no hooks, so its run is
+// byte-identical to the default experiment (TestNoopIdentity).
+//
+// The moving parts map onto the paper's world (§4.2's single calendar,
+// §4.1's fixed 169-machine fleet) as controlled departures from it:
+//
+//   - Phases modulate the stochastic rates over time (regime shifts:
+//     semester breaks, lockdowns, exam crunches) with linear ramps
+//     between levels — behavior.Overlay.
+//   - Lifecycle bounds machines' fleet membership in days (joiners,
+//     leavers, hardware refresh as leave+join under a new ID) —
+//     behavior.Lifecycle plus catalogue lifetime stamps.
+//   - Calendars give labs their own opening hours and wall-clock time
+//     zones; AlwaysOn marks server pools that never close and host no
+//     interactive use — behavior.Calendar per lab.
+//   - Claims document the directional movement of headline metrics
+//     against a baseline run of the same length and seed; `make
+//     scenarios` (tools/scenariobench) gates them in CI.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+	// The bundled scenarios reference IANA zones (America/New_York,
+	// Asia/Tokyo). Embed the zone database so they load on hosts
+	// without /usr/share/zoneinfo (minimal containers, Windows).
+	_ "time/tzdata"
+
+	"winlab/internal/behavior"
+	"winlab/internal/experiment"
+	"winlab/internal/lab"
+)
+
+// Config is one scenario. The zero value is the no-op scenario: no
+// hooks, runs byte-identical to the default experiment.
+type Config struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Days overrides the experiment length; zero keeps the target
+	// config's own (the paper's 77 for experiment.Default).
+	Days int `json:"days,omitempty"`
+
+	Phases    []Phase                `json:"phases,omitempty"`
+	Calendars map[string]LabCalendar `json:"calendars,omitempty"`
+	AlwaysOn  []string               `json:"always_on,omitempty"`
+	Extras    []Machine              `json:"extras,omitempty"`
+	Lifecycle []Lifecycle            `json:"lifecycle,omitempty"`
+
+	// Claims are the scenario's documented directional effects,
+	// checked against a baseline run by tools/scenariobench.
+	Claims []Claim `json:"claims,omitempty"`
+}
+
+// Phase is one regime: from StartDay on, the stochastic rates sit at
+// the phase's multipliers, reached by a linear ramp over RampDays from
+// wherever the previous regime left them. A zero multiplier means
+// "unchanged" (factor 1), so JSON phases only name what they move; use
+// a small positive value (0.01) to express "almost none".
+type Phase struct {
+	Name     string `json:"name,omitempty"`
+	StartDay int    `json:"start_day"`
+	RampDays int    `json:"ramp_days,omitempty"`
+
+	Arrival    float64 `json:"arrival,omitempty"`    // free-use arrival rate ×
+	Attendance float64 `json:"attendance,omitempty"` // class attendance ×
+	Power      float64 `json:"power,omitempty"`      // shutdown eagerness ×
+}
+
+// LabCalendar is one lab's opening pattern. Zero hours (with AlwaysOpen
+// unset) inherit the behaviour config's default pattern, so a calendar
+// that only names a Location means "the usual hours, in that zone".
+type LabCalendar struct {
+	OpenHour     int    `json:"open_hour,omitempty"`
+	NightClose   int    `json:"night_close,omitempty"`
+	SatCloseHour int    `json:"sat_close_hour,omitempty"`
+	Location     string `json:"location,omitempty"` // IANA zone; "" = UTC
+	AlwaysOpen   bool   `json:"always_open,omitempty"`
+}
+
+// Machine is one off-catalogue machine: a hardware-refresh replacement
+// or an added server, with its own hardware spec.
+type Machine struct {
+	ID        string  `json:"id"`
+	Lab       string  `json:"lab"`
+	CPUModel  string  `json:"cpu_model,omitempty"`
+	CPUGHz    float64 `json:"cpu_ghz,omitempty"`
+	RAMMB     int     `json:"ram_mb"`
+	DiskGB    float64 `json:"disk_gb"`
+	IntIndex  float64 `json:"int_index"`
+	FPIndex   float64 `json:"fp_index"`
+	BaseImgGB float64 `json:"base_img_gb,omitempty"`
+}
+
+// Lifecycle bounds one machine's fleet membership in whole days after
+// the experiment start. JoinDay 0 means "from the start"; LeaveDay 0
+// means "until the end". A hardware refresh is a LeaveDay on the old
+// machine plus an Extras entry and a JoinDay on its replacement.
+type Lifecycle struct {
+	Machine  string `json:"machine"`
+	JoinDay  int    `json:"join_day,omitempty"`
+	LeaveDay int    `json:"leave_day,omitempty"`
+}
+
+// Claim metrics (see Metrics for definitions).
+const (
+	MetricAvailability = "availability"
+	MetricEquivalence  = "equivalence"
+	MetricHarvestYield = "harvest-yield"
+	MetricHarvestWork  = "harvest-work"
+)
+
+// Claim directions.
+const (
+	DirUp   = "up"
+	DirDown = "down"
+	DirFlat = "flat"
+)
+
+// Claim asserts how one metric moves against the baseline run: up or
+// down by at least MinShift (relative), or flat within MinShift.
+type Claim struct {
+	Metric    string  `json:"metric"`
+	Direction string  `json:"direction"`
+	MinShift  float64 `json:"min_shift"`
+}
+
+// Validate rejects scenarios the experiment could not honour
+// coherently. It is called by Apply; Load calls it on every parsed
+// file so a bad scenario fails at the door.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if c.Days < 0 {
+		return fmt.Errorf("scenario %s: negative days %d", c.Name, c.Days)
+	}
+	for i, p := range c.Phases {
+		if p.StartDay < 0 || p.RampDays < 0 {
+			return fmt.Errorf("scenario %s: phase %d has negative start/ramp (%d, %d)", c.Name, i, p.StartDay, p.RampDays)
+		}
+		if p.Arrival < 0 || p.Attendance < 0 || p.Power < 0 {
+			return fmt.Errorf("scenario %s: phase %d has a negative multiplier", c.Name, i)
+		}
+	}
+	for lb, lc := range c.Calendars {
+		if _, err := lc.calendar(behavior.Config{}); err != nil {
+			return fmt.Errorf("scenario %s: lab %s: %w", c.Name, lb, err)
+		}
+	}
+	for i, m := range c.Extras {
+		if m.ID == "" || m.Lab == "" {
+			return fmt.Errorf("scenario %s: extra %d needs both id and lab", c.Name, i)
+		}
+		if m.DiskGB <= 0 || m.IntIndex <= 0 || m.FPIndex <= 0 || m.RAMMB <= 0 {
+			return fmt.Errorf("scenario %s: extra %s needs positive ram_mb, disk_gb, int_index and fp_index", c.Name, m.ID)
+		}
+	}
+	for i, lc := range c.Lifecycle {
+		if lc.Machine == "" {
+			return fmt.Errorf("scenario %s: lifecycle %d without a machine", c.Name, i)
+		}
+		if lc.JoinDay < 0 || lc.LeaveDay < 0 {
+			return fmt.Errorf("scenario %s: machine %s has negative lifecycle days", c.Name, lc.Machine)
+		}
+		if lc.LeaveDay > 0 && lc.LeaveDay <= lc.JoinDay {
+			return fmt.Errorf("scenario %s: machine %s leaves (day %d) before it joins (day %d)", c.Name, lc.Machine, lc.LeaveDay, lc.JoinDay)
+		}
+	}
+	for i, cl := range c.Claims {
+		switch cl.Metric {
+		case MetricAvailability, MetricEquivalence, MetricHarvestYield, MetricHarvestWork:
+		default:
+			return fmt.Errorf("scenario %s: claim %d has unknown metric %q", c.Name, i, cl.Metric)
+		}
+		switch cl.Direction {
+		case DirUp, DirDown, DirFlat:
+		default:
+			return fmt.Errorf("scenario %s: claim %d has unknown direction %q", c.Name, i, cl.Direction)
+		}
+		if cl.MinShift < 0 {
+			return fmt.Errorf("scenario %s: claim %d has negative min_shift", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// Apply compiles the scenario onto an experiment config: length
+// override, regime overlay, per-lab calendars, always-on pools, extra
+// machines and lifecycle windows. The target's other knobs (seed,
+// catalogue, behaviour calibration) are left alone.
+func (c *Config) Apply(cfg *experiment.Config) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Days > 0 {
+		cfg.Days = c.Days
+	}
+	if len(c.Phases) > 0 {
+		phases := append([]Phase(nil), c.Phases...)
+		sort.SliceStable(phases, func(i, j int) bool { return phases[i].StartDay < phases[j].StartDay })
+		cfg.Overlay = &overlay{start: cfg.Start, phases: phases}
+	}
+	cals := make(map[string]behavior.Calendar, len(c.Calendars)+len(c.AlwaysOn))
+	for lb, lc := range c.Calendars {
+		cal, err := lc.calendar(cfg.Behavior)
+		if err != nil {
+			return fmt.Errorf("scenario %s: lab %s: %w", c.Name, lb, err)
+		}
+		cals[lb] = cal
+	}
+	// Always-on pools default to an always-open calendar; without one,
+	// the closing machinery would sweep the pool at classroom hours.
+	for _, lb := range c.AlwaysOn {
+		if _, ok := cals[lb]; !ok {
+			cals[lb] = behavior.Calendar{AlwaysOpen: true}
+		}
+	}
+	if len(cals) > 0 {
+		cfg.LabCalendars = cals
+	}
+	if len(c.AlwaysOn) > 0 {
+		cfg.AlwaysOnLabs = append([]string(nil), c.AlwaysOn...)
+	}
+	for _, m := range c.Extras {
+		cfg.ExtraMachines = append(cfg.ExtraMachines, lab.Extra{
+			ID:  m.ID,
+			Lab: m.Lab,
+			Spec: lab.Spec{
+				CPUModel: m.CPUModel, CPUGHz: m.CPUGHz, RAMMB: m.RAMMB,
+				DiskGB: m.DiskGB, IntIndex: m.IntIndex, FPIndex: m.FPIndex,
+				BaseImgGB: m.BaseImgGB,
+			},
+		})
+	}
+	for _, lc := range c.Lifecycle {
+		bl := behavior.Lifecycle{Machine: lc.Machine}
+		if lc.JoinDay > 0 {
+			bl.Join = cfg.Start.AddDate(0, 0, lc.JoinDay)
+		}
+		if lc.LeaveDay > 0 {
+			bl.Leave = cfg.Start.AddDate(0, 0, lc.LeaveDay)
+		}
+		cfg.Lifecycle = append(cfg.Lifecycle, bl)
+	}
+	return nil
+}
+
+// Experiment returns the paper-default experiment config with the
+// scenario applied.
+func (c *Config) Experiment(seed int64) (experiment.Config, error) {
+	cfg := experiment.Default(seed)
+	if err := c.Apply(&cfg); err != nil {
+		return experiment.Config{}, err
+	}
+	return cfg, nil
+}
+
+// calendar compiles one lab calendar, inheriting the behaviour
+// config's hour pattern when no hours are given.
+func (lc LabCalendar) calendar(bc behavior.Config) (behavior.Calendar, error) {
+	loc := time.UTC
+	if lc.Location != "" {
+		l, err := time.LoadLocation(lc.Location)
+		if err != nil {
+			return behavior.Calendar{}, fmt.Errorf("bad location: %w", err)
+		}
+		loc = l
+	}
+	if lc.AlwaysOpen {
+		return behavior.Calendar{AlwaysOpen: true, Loc: loc}, nil
+	}
+	cal := behavior.Calendar{
+		OpenHour: lc.OpenHour, NightClose: lc.NightClose, SatCloseHour: lc.SatCloseHour, Loc: loc,
+	}
+	if lc.OpenHour == 0 && lc.NightClose == 0 && lc.SatCloseHour == 0 {
+		cal.OpenHour, cal.NightClose, cal.SatCloseHour = bc.OpenHour, bc.NightClose, bc.SatCloseHour
+		return cal, nil
+	}
+	// Mirror behavior.Config.Validate's hour constraints: the closing
+	// machinery needs a pattern that closes overnight and after the
+	// Saturday opening.
+	if cal.OpenHour < 0 || cal.OpenHour > 23 || cal.NightClose < 0 || cal.NightClose > 23 ||
+		cal.SatCloseHour < 0 || cal.SatCloseHour > 23 {
+		return behavior.Calendar{}, fmt.Errorf("hours out of range [0,23]")
+	}
+	if cal.NightClose >= cal.OpenHour {
+		return behavior.Calendar{}, fmt.Errorf("night_close (%d) must precede open_hour (%d)", cal.NightClose, cal.OpenHour)
+	}
+	if cal.SatCloseHour <= cal.OpenHour {
+		return behavior.Calendar{}, fmt.Errorf("sat_close_hour (%d) must follow open_hour (%d)", cal.SatCloseHour, cal.OpenHour)
+	}
+	return cal, nil
+}
+
+// overlay implements behavior.Overlay over the phase list: piecewise
+// levels with linear ramps, a pure function of t as the interface
+// demands.
+type overlay struct {
+	start  time.Time
+	phases []Phase // sorted by StartDay
+}
+
+func (o *overlay) at(t time.Time, get func(Phase) float64) float64 {
+	day := t.Sub(o.start).Hours() / 24
+	level := 1.0 // the pre-scenario regime
+	for _, p := range o.phases {
+		sd := float64(p.StartDay)
+		if day < sd {
+			break
+		}
+		target := orOne(get(p))
+		if p.RampDays > 0 && day < sd+float64(p.RampDays) {
+			return level + (target-level)*(day-sd)/float64(p.RampDays)
+		}
+		level = target
+	}
+	return level
+}
+
+func (o *overlay) ArrivalFactor(t time.Time) float64 {
+	return o.at(t, func(p Phase) float64 { return p.Arrival })
+}
+
+func (o *overlay) AttendanceFactor(t time.Time) float64 {
+	return o.at(t, func(p Phase) float64 { return p.Attendance })
+}
+
+func (o *overlay) PowerFactor(t time.Time) float64 {
+	return o.at(t, func(p Phase) float64 { return p.Power })
+}
+
+// orOne maps the JSON zero value to "unchanged".
+func orOne(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}

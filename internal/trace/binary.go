@@ -22,13 +22,15 @@ import (
 //
 // Layout (all integers are varints unless noted):
 //
-//	magic   "WLTB" (4 bytes) + version (1 byte, = 1)
+//	magic   "WLTB" (4 bytes) + version (1 byte, = 1 or 2)
 //	header  start time, end time, period            (times: sec varint + nanos varint)
 //	dict    strings are interned on first use: a reference uvarint equal to
 //	        the current dictionary size introduces a new entry (uvarint
 //	        length + bytes); smaller references reuse entry N.
 //	M block uvarint count, then per machine:
 //	        id ref, lab ref, ram-mb, disk/int/fp index (8-byte LE float64)
+//	        version 2 appends join-iter and leave-iter varints (machine
+//	        lifetime bounds; see MachineInfo.ActiveAt)
 //	I block uvarint count, then per iteration, delta-coded against the
 //	        previous iteration: iter Δ, start Δ, attempted Δ, responded Δ,
 //	        end (0 = unset | 1 + offset from start), parse-errors Δ
@@ -51,10 +53,27 @@ import (
 // allocation: every count and string length is validated against caps
 // before memory is reserved (see FuzzReadBinary).
 
-// magicTB identifies a TBv1 stream; tbVersion is the format revision.
+// magicTB identifies a TBv1 stream. Version 1 is the original layout;
+// version 2 adds machine lifetime bounds to the M block and is written
+// only when some machine actually has a partial lifetime, so every
+// pre-lifecycle trace re-encodes byte-identically.
 var magicTB = []byte("WLTB")
 
-const tbVersion = 1
+const (
+	tbVersion  = 1
+	tbVersion2 = 2
+)
+
+// tbVersionFor picks the lowest format version that can represent the
+// machine catalogue.
+func tbVersionFor(machines []MachineInfo) byte {
+	for i := range machines {
+		if machines[i].PartialLifetime() {
+			return tbVersion2
+		}
+	}
+	return tbVersion
+}
 
 // tbMaxString caps a single dictionary entry; tbPrealloc caps how many
 // entries any count preallocates before the stream proves they exist.
@@ -179,8 +198,9 @@ type binaryEncoder struct {
 // the first sample.
 func newBinaryEncoder(w io.Writer, start, end time.Time, period time.Duration, machines []MachineInfo, iterations []Iteration, samples uint64) *binaryEncoder {
 	e := &tbWriter{w: bufio.NewWriterSize(w, ioBufSize), dict: make(map[string]uint64, 64)}
+	ver := tbVersionFor(machines)
 	e.w.Write(magicTB)
-	e.w.WriteByte(tbVersion)
+	e.w.WriteByte(ver)
 
 	var hdr tbState
 	e.time(start, &hdr.timeSec, &hdr.timeNs)
@@ -196,6 +216,10 @@ func newBinaryEncoder(w io.Writer, start, end time.Time, period time.Duration, m
 		e.f64(m.DiskGB)
 		e.f64(m.IntIndex)
 		e.f64(m.FPIndex)
+		if ver >= tbVersion2 {
+			e.varint(int64(m.JoinIter))
+			e.varint(int64(m.LeaveIter))
+		}
 	}
 
 	e.uvarint(uint64(len(iterations)))
@@ -478,9 +502,10 @@ func newBinaryCursor(br *bufio.Reader) (*BinaryCursor, error) {
 	if !bytes.Equal(head[:4], magicTB) {
 		return nil, fmt.Errorf("trace: tbv1: bad magic %q", head[:4])
 	}
-	if head[4] != tbVersion {
+	if head[4] != tbVersion && head[4] != tbVersion2 {
 		return nil, fmt.Errorf("trace: tbv1: unsupported version %d", head[4])
 	}
+	ver := head[4]
 
 	dec := &tbReader{r: br}
 	c := &BinaryCursor{dec: dec}
@@ -501,6 +526,13 @@ func newBinaryCursor(br *bufio.Reader) (*BinaryCursor, error) {
 		m.DiskGB = dec.f64("machine disk")
 		m.IntIndex = dec.f64("machine int index")
 		m.FPIndex = dec.f64("machine fp index")
+		if ver >= tbVersion2 {
+			m.JoinIter = int(dec.varint("machine join iter"))
+			m.LeaveIter = int(dec.varint("machine leave iter"))
+			if dec.err == nil && (m.JoinIter < 0 || m.LeaveIter < 0 || (m.LeaveIter > 0 && m.LeaveIter <= m.JoinIter)) {
+				dec.fail("machine %s lifetime [%d,%d) invalid", m.ID, m.JoinIter, m.LeaveIter)
+			}
+		}
 		if dec.err == nil {
 			c.machines = append(c.machines, m)
 		}

@@ -30,6 +30,9 @@
 //     collected them, and inside the experiment bounds
 //     (KindSampleBounds);
 //   - every sampled machine is catalogued (KindUnknownMachine);
+//   - a machine with a declared partial lifetime (scenario fleet churn)
+//     only contributes samples inside its [JoinIter, LeaveIter) window
+//     (KindLifetimeViolation);
 //   - per-iteration accounting closes: committed samples plus booked
 //     parse errors equal the responded count (KindResponseAccounting);
 //   - the frozen trace.Index agrees with the dataset it claims to
@@ -62,6 +65,7 @@ const (
 	KindSessionState       Kind = "session-state"
 	KindSampleBounds       Kind = "sample-bounds"
 	KindUnknownMachine     Kind = "unknown-machine"
+	KindLifetimeViolation  Kind = "lifetime-violation"
 	KindResponseAccounting Kind = "response-accounting"
 	KindIndexMismatch      Kind = "index-mismatch"
 )
@@ -186,7 +190,8 @@ func Check(d *trace.Dataset, opts Options) *Report {
 			r.addf(KindIndexMismatch, id, -1, "index machine order not strictly sorted (%q after %q)", id, prevID)
 		}
 		prevID = id
-		if idx.Machine(id) == nil {
+		info := idx.Machine(id)
+		if info == nil {
 			r.addf(KindUnknownMachine, id, -1, "machine has %d samples but no catalogue entry", len(ss))
 		}
 		for i := range ss {
@@ -198,6 +203,7 @@ func Check(d *trace.Dataset, opts Options) *Report {
 			if perIter != nil {
 				perIter[s.Iter]++
 			}
+			checkLifetime(info, s, r)
 			checkSampleBounds(d, iters, s, r)
 			checkSession(s, r)
 			if i > 0 {
@@ -299,6 +305,27 @@ func checkSampleBounds(d *trace.Dataset, iters map[int]int, s *trace.Sample, r *
 				fmtT(s.Time), fmtT(it.Start), d.Period)
 		}
 	}
+}
+
+// checkLifetime validates that a sample of a partial-lifetime machine
+// falls inside its declared [JoinIter, LeaveIter) membership window — a
+// probe report from before the machine joined the fleet or after it was
+// retired means the catalogue's lifecycle metadata and the samples
+// disagree.
+func checkLifetime(info *trace.MachineInfo, s *trace.Sample, r *Report) {
+	if info == nil || !info.PartialLifetime() || info.ActiveAt(s.Iter) {
+		return
+	}
+	r.addf(KindLifetimeViolation, s.Machine, s.Iter,
+		"sample at iteration %d outside declared lifetime [%d, %s)",
+		s.Iter, info.JoinIter, fmtLeave(info.LeaveIter))
+}
+
+func fmtLeave(leave int) string {
+	if leave == 0 {
+		return "end"
+	}
+	return fmt.Sprintf("%d", leave)
 }
 
 // checkSession validates the login-state consistency of one sample.

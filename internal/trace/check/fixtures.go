@@ -162,6 +162,16 @@ func CorruptedFixtures() []Fixture {
 		mk("machine-not-catalogued", KindUnknownMachine, "lab1-m2", func(d *trace.Dataset) {
 			d.Machines = d.Machines[:1]
 		}),
+		mk("sample-before-lifetime-join", KindLifetimeViolation, "lab1-m1", func(d *trace.Dataset) {
+			// Declare lab1-m1 as joining at iteration 2; its existing
+			// samples at iterations 0–1 now predate its fleet membership.
+			d.Machines[0].JoinIter = 2
+		}),
+		mk("sample-after-lifetime-leave", KindLifetimeViolation, "lab1-m2", func(d *trace.Dataset) {
+			// Declare lab1-m2 as retired before iteration 3; its sample at
+			// iteration 3 postdates its fleet membership.
+			d.Machines[1].LeaveIter = 3
+		}),
 		mk("responded-mismatch", KindResponseAccounting, "", func(d *trace.Dataset) {
 			d.Iterations[2].Responded = 1
 		}),

@@ -48,8 +48,16 @@ func Write(w io.Writer, d *Dataset) error {
 		return err
 	}
 	for _, m := range d.Machines {
-		if err := cw.Write([]string{"M", m.ID, m.Lab,
-			strconv.Itoa(m.RAMMB), fmtF(m.DiskGB), fmtF(m.IntIndex), fmtF(m.FPIndex)}); err != nil {
+		rec := []string{"M", m.ID, m.Lab,
+			strconv.Itoa(m.RAMMB), fmtF(m.DiskGB), fmtF(m.IntIndex), fmtF(m.FPIndex)}
+		// Lifetime bounds ride as two optional trailing fields, only for
+		// partial-lifetime machines — full-lifetime traces keep the
+		// legacy 7-field record byte-for-byte (same precedent as the
+		// 5-or-7-field I record).
+		if m.PartialLifetime() {
+			rec = append(rec, strconv.Itoa(m.JoinIter), strconv.Itoa(m.LeaveIter))
+		}
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
@@ -246,7 +254,9 @@ func Read(r io.Reader) (*Dataset, error) {
 			d.Period = time.Duration(sec) * time.Second
 			sawHeader = true
 		case "M":
-			if len(rec) != 7 {
+			// 7 fields is the legacy record; 9 appends the lifetime
+			// bounds (JoinIter, LeaveIter) of partial-lifetime machines.
+			if len(rec) != 7 && len(rec) != 9 {
 				return nil, fmt.Errorf("trace: bad machine record (%d fields)", len(rec))
 			}
 			m := MachineInfo{ID: rec[1], Lab: rec[2]}
@@ -262,6 +272,17 @@ func Read(r io.Reader) (*Dataset, error) {
 			}
 			if m.FPIndex, err = strconv.ParseFloat(rec[6], 64); err != nil {
 				return nil, fmt.Errorf("trace: machine %s fp index: %w", m.ID, err)
+			}
+			if len(rec) == 9 {
+				if m.JoinIter, err = strconv.Atoi(rec[7]); err != nil {
+					return nil, fmt.Errorf("trace: machine %s join iter: %w", m.ID, err)
+				}
+				if m.LeaveIter, err = strconv.Atoi(rec[8]); err != nil {
+					return nil, fmt.Errorf("trace: machine %s leave iter: %w", m.ID, err)
+				}
+				if m.JoinIter < 0 || m.LeaveIter < 0 || (m.LeaveIter > 0 && m.LeaveIter <= m.JoinIter) {
+					return nil, fmt.Errorf("trace: machine %s lifetime [%d,%d) invalid", m.ID, m.JoinIter, m.LeaveIter)
+				}
 			}
 			d.Machines = append(d.Machines, m)
 		case "I":

@@ -106,10 +106,30 @@ type MachineInfo struct {
 	DiskGB   float64
 	IntIndex float64
 	FPIndex  float64
+
+	// JoinIter and LeaveIter bound the machine's fleet membership in
+	// iteration coordinates for partial-lifetime machines (scenario
+	// fleet churn: a machine that joined mid-trace or was retired).
+	// The machine is a member for JoinIter ≤ iter < LeaveIter, with
+	// LeaveIter 0 meaning "until the end". The zero values — full
+	// lifetime — are what every pre-lifecycle trace decodes to, so
+	// legacy traces keep their exact semantics.
+	JoinIter  int
+	LeaveIter int
 }
 
 // PerfIndex returns the 50/50 combined NBench index.
 func (m MachineInfo) PerfIndex() float64 { return 0.5*m.IntIndex + 0.5*m.FPIndex }
+
+// ActiveAt reports whether the machine was a fleet member at the given
+// iteration (always true for full-lifetime machines).
+func (m MachineInfo) ActiveAt(iter int) bool {
+	return iter >= m.JoinIter && (m.LeaveIter == 0 || iter < m.LeaveIter)
+}
+
+// PartialLifetime reports whether the machine has a bounded membership
+// window (joined after iteration 0 or left before the end).
+func (m MachineInfo) PartialLifetime() bool { return m.JoinIter > 0 || m.LeaveIter > 0 }
 
 // Dataset is a complete monitoring trace.
 //

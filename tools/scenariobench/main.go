@@ -1,0 +1,272 @@
+// Command scenariobench is the claim-set harness for the bundled
+// scenarios: for each seed it runs every requested scenario and a
+// baseline of the same length, measures the headline metrics
+// (availability, cluster equivalence, harvest yield and work) on both
+// traces, and enforces the scenario's documented directional claims.
+// The lockdown scenario doubles as the availability-collapse
+// detector's labelled *negative* corpus: its slow regime shift must
+// not page, and the harness fails if it does. CI runs it via `make
+// scenarios`; a non-zero exit means a claim no longer holds on a
+// fixed seed or the detector paged on a slow drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"winlab/internal/anomaly"
+	"winlab/internal/experiment"
+	"winlab/internal/scenario"
+	"winlab/internal/trace/check"
+)
+
+func main() {
+	var (
+		seedsFlag = flag.String("seeds", "1,2,3", "comma-separated experiment seeds")
+		days      = flag.Int("days", 0, "override every scenario's length in days (0 = each scenario's own)")
+		list      = flag.String("scenarios", "", "comma-separated scenario names or JSON files (default: all bundled with claims)")
+		corpus    = flag.String("collapse-corpus", "lockdown", "scenarios whose runs must produce zero availability-collapse pages (comma-separated, empty disables)")
+		shards    = flag.Int("shards", 0, "collect through the sharded collector with this many shards (0 = serial)")
+		doCheck   = flag.Bool("check", true, "invariant-check every collected trace")
+		verbose   = flag.Bool("v", false, "print per-run metric tables")
+	)
+	flag.Parse()
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariobench: %v\n", err)
+		os.Exit(2)
+	}
+
+	scenarios, err := resolveScenarios(*list)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariobench: %v\n", err)
+		os.Exit(2)
+	}
+	inCorpus := make(map[string]bool)
+	for _, n := range splitList(*corpus) {
+		inCorpus[n] = true
+	}
+
+	b := bench{days: *days, shards: *shards, check: *doCheck, verbose: *verbose,
+		baselines: make(map[baseKey]scenario.Metrics)}
+	failed := false
+	var corpusRan []string
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			if !b.runOne(sc, seed) {
+				failed = true
+			}
+		}
+		if inCorpus[sc.Name] {
+			corpusRan = append(corpusRan, sc.Name)
+			for _, seed := range seeds {
+				if !b.runCorpus(sc, seed) {
+					failed = true
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	note := ""
+	if len(corpusRan) > 0 {
+		note = fmt.Sprintf("; zero collapse pages on %s", strings.Join(corpusRan, ","))
+	}
+	fmt.Printf("OK: all claims hold over seeds %s%s\n", *seedsFlag, note)
+}
+
+type baseKey struct {
+	seed int64
+	days int
+}
+
+type bench struct {
+	days    int
+	shards  int
+	check   bool
+	verbose bool
+
+	baselines map[baseKey]scenario.Metrics
+}
+
+// resolvedDays returns the length a scenario runs at under the
+// harness's -days override.
+func (b *bench) resolvedDays(sc *scenario.Config) int {
+	if b.days > 0 {
+		return b.days
+	}
+	if sc.Days > 0 {
+		return sc.Days
+	}
+	return experiment.Default(0).Days
+}
+
+func (b *bench) run(sc *scenario.Config, seed int64, days int, det *anomaly.Detectors, outages bool) (scenario.Metrics, error) {
+	cfg, err := sc.Experiment(seed)
+	if err != nil {
+		return scenario.Metrics{}, err
+	}
+	cfg.Days = days
+	cfg.Shards = b.shards
+	cfg.Detect = det
+	if !outages {
+		// Corpus runs judge detector behaviour, so the coordinator runs
+		// clean: a random outage is not a labelled negative.
+		cfg.OutageFraction = 0
+	}
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		return scenario.Metrics{}, err
+	}
+	if b.check {
+		if rep := check.Check(res.Dataset, check.Options{}); !rep.OK() {
+			return scenario.Metrics{}, fmt.Errorf("trace not doctor-clean: %w", rep.Err())
+		}
+	}
+	return scenario.Measure(res.Dataset)
+}
+
+func (b *bench) baseline(seed int64, days int) (scenario.Metrics, error) {
+	key := baseKey{seed, days}
+	if m, ok := b.baselines[key]; ok {
+		return m, nil
+	}
+	base, err := scenario.Bundled("baseline")
+	if err != nil {
+		return scenario.Metrics{}, err
+	}
+	m, err := b.run(base, seed, days, nil, true)
+	if err != nil {
+		return scenario.Metrics{}, fmt.Errorf("baseline (%d days): %w", days, err)
+	}
+	b.baselines[key] = m
+	return m, nil
+}
+
+// runOne measures one scenario at one seed and enforces its claims.
+func (b *bench) runOne(sc *scenario.Config, seed int64) bool {
+	days := b.resolvedDays(sc)
+	base, err := b.baseline(seed, days)
+	if err != nil {
+		fmt.Printf("FAIL %s seed %d: %v\n", sc.Name, seed, err)
+		return false
+	}
+	got, err := b.run(sc, seed, days, nil, true)
+	if err != nil {
+		fmt.Printf("FAIL %s seed %d: %v\n", sc.Name, seed, err)
+		return false
+	}
+	if b.verbose {
+		printMetrics(sc.Name, seed, days, base, got)
+	}
+	ok := true
+	for _, cl := range sc.Claims {
+		if err := cl.Check(base, got); err != nil {
+			fmt.Printf("FAIL %s seed %d (%d days): %v\n", sc.Name, seed, days, err)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("ok   %s seed %d (%d days): %d claims hold\n", sc.Name, seed, days, len(sc.Claims))
+	}
+	return ok
+}
+
+// runCorpus replays the scenario with the streaming detectors attached
+// and no coordinator outages: a slow regime shift is a labelled
+// negative for the availability-collapse detector, so any page is a
+// false positive.
+func (b *bench) runCorpus(sc *scenario.Config, seed int64) bool {
+	det := anomaly.New(anomaly.DefaultConfig(), nil)
+	days := b.resolvedDays(sc)
+	if _, err := b.run(sc, seed, days, det, false); err != nil {
+		fmt.Printf("FAIL %s corpus seed %d: %v\n", sc.Name, seed, err)
+		return false
+	}
+	pages := 0
+	for _, e := range det.Ring().Snapshot() {
+		if e.Kind == anomaly.KindAvailabilityCollapse {
+			pages++
+			fmt.Printf("FAIL %s corpus seed %d: collapse page lab=%q iters=[%d,%d] %s\n",
+				sc.Name, seed, e.Lab, e.FirstIter, e.LastIter, e.Detail)
+		}
+	}
+	if pages > 0 {
+		return false
+	}
+	fmt.Printf("ok   %s corpus seed %d (%d days): zero collapse pages\n", sc.Name, seed, days)
+	return true
+}
+
+func printMetrics(name string, seed int64, days int, base, got scenario.Metrics) {
+	fmt.Printf("== %s seed %d (%d days) ==\n", name, seed, days)
+	row := func(metric string, b, g float64) {
+		shift := g - b
+		if b != 0 {
+			shift /= b
+		}
+		fmt.Printf("  %-13s %10.4g -> %10.4g  (%+.1f%%)\n", metric, b, g, 100*shift)
+	}
+	row(scenario.MetricAvailability, base.Availability, got.Availability)
+	row(scenario.MetricEquivalence, base.Equivalence, got.Equivalence)
+	row(scenario.MetricHarvestYield, base.HarvestYield, got.HarvestYield)
+	row(scenario.MetricHarvestWork, base.HarvestWork, got.HarvestWork)
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, f := range splitList(s) {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", f, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds")
+	}
+	return seeds, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// resolveScenarios maps the -scenarios flag to configs: names resolve
+// against the bundled set, paths load JSON files; empty means every
+// bundled scenario that carries claims.
+func resolveScenarios(list string) ([]*scenario.Config, error) {
+	if list == "" {
+		var out []*scenario.Config
+		for _, name := range scenario.Names() {
+			sc, err := scenario.Bundled(name)
+			if err != nil {
+				return nil, err
+			}
+			if len(sc.Claims) > 0 {
+				out = append(out, sc)
+			}
+		}
+		return out, nil
+	}
+	var out []*scenario.Config
+	for _, ref := range splitList(list) {
+		sc, err := scenario.Resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
